@@ -1,0 +1,59 @@
+// Shared plumbing for the experiment binaries.
+//
+// Every bench prints a paper-style table to stdout and saves the same rows
+// as CSV next to the binary. JAT_BENCH_SCALE picks the fidelity:
+//   0 = smoke  (tiny budgets; CI-fast sanity run)
+//   1 = paper  (the paper's 200-minute budgets; default — still seconds of
+//               wall clock, the JVM is simulated)
+//   2 = extended (400-minute budgets, more repetitions)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "support/log.hpp"
+#include "support/sim_time.hpp"
+#include "support/table.hpp"
+#include "tuner/session.hpp"
+
+namespace jat::bench {
+
+struct Scale {
+  SimTime budget = SimTime::minutes(200);
+  int repetitions = 3;
+  int level = 1;
+};
+
+inline Scale scale_from_env() {
+  Scale s;
+  const char* env = std::getenv("JAT_BENCH_SCALE");
+  const int level = env != nullptr ? std::atoi(env) : 1;
+  s.level = level;
+  if (level <= 0) {
+    s.budget = SimTime::minutes(15);
+    s.repetitions = 2;
+  } else if (level >= 2) {
+    s.budget = SimTime::minutes(400);
+    s.repetitions = 5;
+  }
+  return s;
+}
+
+inline void emit(const std::string& title, const TextTable& table,
+                 const std::string& csv_name) {
+  std::printf("== %s ==\n\n%s\n", title.c_str(), table.render().c_str());
+  if (table.save_csv(csv_name)) {
+    std::printf("(rows saved to %s)\n\n", csv_name.c_str());
+  }
+}
+
+inline SessionOptions session_options(const Scale& scale, std::uint64_t seed = 2015) {
+  SessionOptions options;
+  options.budget = scale.budget;
+  options.repetitions = scale.repetitions;
+  options.seed = seed;
+  return options;
+}
+
+}  // namespace jat::bench

@@ -1,0 +1,54 @@
+// F4 — Improvement vs tuning time (anytime behaviour).
+//
+// For four representative programs, reports the incumbent improvement at
+// budget checkpoints from 25 to 200 simulated minutes, reconstructed from
+// the session's evaluation log. The paper's corresponding figure motivates
+// the 200-minute budget: curves saturate within it.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/units.hpp"
+#include "workloads/suites.hpp"
+
+int main() {
+  using namespace jat;
+  const bench::Scale scale = bench::scale_from_env();
+  set_log_level(LogLevel::kWarn);
+
+  const std::vector<std::string> programs = {
+      "startup.compiler.compiler", "startup.serial", "pmd", "h2"};
+  const std::vector<double> checkpoints_min = {25, 50, 75, 100, 125, 150, 175, 200};
+
+  JvmSimulator simulator;
+  std::vector<std::string> header = {"program", "default_ms"};
+  for (double m : checkpoints_min) {
+    header.push_back(fmt(m, 0) + "min");
+  }
+  TextTable table(header);
+
+  for (const auto& name : programs) {
+    const WorkloadSpec& workload = find_workload(name);
+    SessionOptions options = bench::session_options(scale);
+    options.budget = SimTime::minutes(checkpoints_min.back()) *
+                     (scale.level <= 0 ? 0.25 : 1.0);
+    TuningSession session(simulator, workload, options);
+    HierarchicalTuner tuner;
+    const TuningOutcome outcome = session.run(tuner);
+
+    std::vector<std::string> row = {name, fmt(outcome.default_ms, 0)};
+    for (double m : checkpoints_min) {
+      const double at = outcome.db->best_at(
+          SimTime::minutes(m) * (scale.level <= 0 ? 0.25 : 1.0));
+      const double improvement =
+          std::isfinite(at) ? (outcome.default_ms - at) / outcome.default_ms : 0.0;
+      row.push_back(format_percent(improvement));
+    }
+    table.add_row(std::move(row));
+  }
+
+  bench::emit("F4: incumbent improvement vs tuning time (hierarchical tuner)",
+              table, "bench_f4_convergence.csv");
+  std::printf("paper shape: anytime curves saturating within the 200-minute "
+              "budget; most improvement lands early\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// M8 — google-benchmark microbenchmarks of the substrate itself.
+//
+// Supports the feasibility claim behind the whole reproduction: one
+// simulated JVM run costs microseconds-to-milliseconds of wall clock, so a
+// 200-minute tuning session replays in well under a second.
+#include <benchmark/benchmark.h>
+
+#include "flags/validate.hpp"
+#include "jvmsim/engine.hpp"
+#include "tuner/search_space.hpp"
+#include "workloads/suites.hpp"
+
+namespace {
+
+using namespace jat;
+
+void BM_SimulateStartupRun(benchmark::State& state) {
+  JvmSimulator sim;
+  const Configuration config(FlagRegistry::hotspot());
+  const WorkloadSpec& w = find_workload("startup.compress");
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(config, w, seed++));
+  }
+}
+BENCHMARK(BM_SimulateStartupRun);
+
+void BM_SimulateDacapoRun(benchmark::State& state) {
+  JvmSimulator sim;
+  const Configuration config(FlagRegistry::hotspot());
+  const WorkloadSpec& w = find_workload("h2");
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(config, w, seed++));
+  }
+}
+BENCHMARK(BM_SimulateDacapoRun);
+
+void BM_SimulateRunPerCollector(benchmark::State& state) {
+  JvmSimulator sim;
+  Configuration config(FlagRegistry::hotspot());
+  config.set_bool("UseParallelGC", false);
+  switch (state.range(0)) {
+    case 0: config.set_bool("UseSerialGC", true); break;
+    case 1: config.set_bool("UseParallelGC", true); break;
+    case 2:
+      config.set_bool("UseConcMarkSweepGC", true);
+      config.set_bool("UseParNewGC", true);
+      break;
+    case 3: config.set_bool("UseG1GC", true); break;
+  }
+  const WorkloadSpec& w = find_workload("lusearch");
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(config, w, seed++));
+  }
+}
+BENCHMARK(BM_SimulateRunPerCollector)->DenseRange(0, 3)
+    ->ArgName("collector(0=serial,1=parallel,2=cms,3=g1)");
+
+void BM_DecodeParams(benchmark::State& state) {
+  const Configuration config(FlagRegistry::hotspot());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_params(config));
+  }
+}
+BENCHMARK(BM_DecodeParams);
+
+void BM_ValidateConfiguration(benchmark::State& state) {
+  const Configuration config(FlagRegistry::hotspot());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate(config));
+  }
+}
+BENCHMARK(BM_ValidateConfiguration);
+
+void BM_ConfigurationFingerprint(benchmark::State& state) {
+  const Configuration config(FlagRegistry::hotspot());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config.fingerprint());
+  }
+}
+BENCHMARK(BM_ConfigurationFingerprint);
+
+void BM_RandomConfig(benchmark::State& state) {
+  const SearchSpace space(FlagHierarchy::hotspot());
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.random_config(rng, 0.3));
+  }
+}
+BENCHMARK(BM_RandomConfig);
+
+void BM_MutateConfig(benchmark::State& state) {
+  const SearchSpace space(FlagHierarchy::hotspot());
+  Rng rng(7);
+  Configuration config(FlagRegistry::hotspot());
+  for (auto _ : state) {
+    space.mutate(config, rng, 3);
+    benchmark::DoNotOptimize(config);
+  }
+}
+BENCHMARK(BM_MutateConfig);
+
+void BM_ActiveFlags(benchmark::State& state) {
+  const FlagHierarchy& h = FlagHierarchy::hotspot();
+  const Configuration config(FlagRegistry::hotspot());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.active_flags(config));
+  }
+}
+BENCHMARK(BM_ActiveFlags);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// T10 (extension) — seed robustness of the headline result.
+//
+// Stochastic-search papers live or die on variance: a single lucky seed
+// can fake a 20% average. This bench repeats the hierarchical tuning of
+// four representative programs across five independent seeds and reports
+// mean, spread, and the 95% CI of the improvement. Expected shape: the
+// per-program improvements are stable (CIs a few points wide), so the
+// T2/T3 headline numbers are not seed artifacts.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/statistics.hpp"
+#include "support/units.hpp"
+#include "workloads/suites.hpp"
+
+int main() {
+  using namespace jat;
+  const bench::Scale scale = bench::scale_from_env();
+  set_log_level(LogLevel::kWarn);
+
+  const std::vector<std::string> programs = {
+      "startup.compiler.compiler", "startup.serial", "avrora", "pmd"};
+  const std::vector<std::uint64_t> seeds = {2015, 7, 42, 1337, 90210};
+
+  JvmSimulator simulator;
+  TextTable table({"program", "mean", "min", "max", "ci95_half", "seeds"});
+
+  for (const auto& name : programs) {
+    const WorkloadSpec& workload = find_workload(name);
+    std::vector<double> improvements;
+    for (std::uint64_t seed : seeds) {
+      SessionOptions options = bench::session_options(scale, seed);
+      options.budget =
+          options.budget * std::max(1.0, workload.total_work / 6000.0);
+      TuningSession session(simulator, workload, options);
+      HierarchicalTuner tuner;
+      improvements.push_back(session.run(tuner).improvement_frac());
+    }
+    const SampleSummary s = summarize(improvements);
+    table.add_row({name, format_percent(s.mean), format_percent(s.min),
+                   format_percent(s.max), format_percent(s.ci95_half),
+                   std::to_string(seeds.size())});
+  }
+
+  bench::emit("T10: hierarchical-tuner improvement across independent seeds",
+              table, "bench_t10_robustness.csv");
+  std::printf("expected shape: means match the T2/T3 rows; spreads of a few "
+              "points, no sign flips\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// T1 — Flag catalog and hierarchy statistics.
+//
+// The paper's motivation table: HotSpot exposes 600+ flags whose cartesian
+// space is astronomically large; the flag hierarchy gates inactive
+// subtrees, shrinking the *searched* space by tens of orders of magnitude
+// per structural choice.
+#include "bench_common.hpp"
+#include "flags/hierarchy.hpp"
+#include "support/units.hpp"
+
+int main() {
+  using namespace jat;
+  const FlagRegistry& reg = FlagRegistry::hotspot();
+  const FlagHierarchy& h = FlagHierarchy::hotspot();
+
+  // --- per-subsystem census -------------------------------------------------
+  TextTable census({"subsystem", "flags", "bool", "int", "size", "double",
+                    "enum", "impactful"});
+  int total_by_type[5] = {0, 0, 0, 0, 0};
+  for (int s = 0; s <= static_cast<int>(Subsystem::kDiagnostic); ++s) {
+    const auto sub = static_cast<Subsystem>(s);
+    int by_type[5] = {0, 0, 0, 0, 0};
+    int impactful = 0;
+    for (FlagId id : reg.by_subsystem(sub)) {
+      ++by_type[static_cast<int>(reg.spec(id).type)];
+      ++total_by_type[static_cast<int>(reg.spec(id).type)];
+      impactful += reg.spec(id).impact > 0 ? 1 : 0;
+    }
+    census.add_row({to_string(sub),
+                    std::to_string(reg.by_subsystem(sub).size()),
+                    std::to_string(by_type[0]), std::to_string(by_type[1]),
+                    std::to_string(by_type[2]), std::to_string(by_type[3]),
+                    std::to_string(by_type[4]), std::to_string(impactful)});
+  }
+  census.add_row({"TOTAL", std::to_string(reg.size()),
+                  std::to_string(total_by_type[0]),
+                  std::to_string(total_by_type[1]),
+                  std::to_string(total_by_type[2]),
+                  std::to_string(total_by_type[3]),
+                  std::to_string(total_by_type[4]),
+                  std::to_string(reg.impactful().size())});
+  jat::bench::emit("T1a: flag catalog census (paper: 'over 600 flags')",
+                   census, "bench_t1_census.csv");
+
+  // --- search-space sizes under each structural choice ----------------------
+  TextTable space({"configuration", "active flags", "log10(space)"});
+  space.add_row({"flat (no hierarchy, all flags)", std::to_string(reg.size()),
+                 fmt(reg.log10_space_size_all(), 1)});
+  for (const auto& group : h.groups()) {
+    if (group.name != "gc") continue;
+    for (std::size_t option = 0; option < group.options.size(); ++option) {
+      Configuration c(reg);
+      group.apply(c, option);
+      space.add_row({"hierarchy, gc=" + group.options[option].name,
+                     std::to_string(h.active_flags(c).size()),
+                     fmt(h.log10_active_space(c), 1)});
+    }
+  }
+  {
+    Configuration c(reg);
+    c.set_enum("ExecutionMode", "int");
+    space.add_row({"hierarchy, -Xint (compiler branch gated off)",
+                   std::to_string(h.active_flags(c).size()),
+                   fmt(h.log10_active_space(c), 1)});
+  }
+  jat::bench::emit(
+      "T1b: search-space reduction by hierarchy gating (log10 of "
+      "configuration count)",
+      space, "bench_t1_space.csv");
+
+  std::printf("structural combinations: %zu (gc x jit x vm x exec)\n",
+              h.structural_combinations());
+  return 0;
+}

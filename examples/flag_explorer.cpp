@@ -1,0 +1,84 @@
+// flag_explorer: inspect the flag catalog and the flag hierarchy.
+//
+//   ./flag_explorer                      # catalog summary + hierarchy tree
+//   ./flag_explorer MaxHeapSize          # one flag's full record
+//   ./flag_explorer --active UseG1GC=true  # active set under assignments
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "flags/hierarchy.hpp"
+#include "flags/validate.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+using namespace jat;
+
+void print_flag(const FlagRegistry& registry, const std::string& name) {
+  const FlagSpec& spec = registry.spec(registry.require(name));
+  std::printf("%s\n", spec.name.c_str());
+  std::printf("  type        %s\n", to_string(spec.type));
+  std::printf("  subsystem   %s\n", to_string(spec.subsystem));
+  std::printf("  default     %s\n",
+              spec.default_value.render(spec.type == FlagType::kSize).c_str());
+  if (spec.type == FlagType::kInt || spec.type == FlagType::kSize) {
+    std::printf("  domain      [%s, %s]%s\n",
+                format_bytes(spec.int_domain.lo).c_str(),
+                format_bytes(spec.int_domain.hi).c_str(),
+                spec.int_domain.log_scale ? " (log scale)" : "");
+  }
+  if (spec.type == FlagType::kEnum) {
+    std::printf("  choices    ");
+    for (const auto& choice : spec.choices) std::printf(" %s", choice.c_str());
+    std::printf("\n");
+  }
+  std::printf("  impact      %.2f%s\n", spec.impact,
+              spec.impact == 0 ? " (performance-inert in the model)" : "");
+  std::printf("  %s\n", spec.description.c_str());
+}
+
+void print_tree(const HierarchyNode& node, const Configuration& config,
+                int depth) {
+  const bool active = !node.gate || node.gate(config);
+  std::printf("%*s%s %s (%zu flags)\n", depth * 2, "", active ? "+" : "-",
+              node.name.c_str(), node.flags.size());
+  for (const auto& child : node.children) print_tree(child, config, depth + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagRegistry& registry = FlagRegistry::hotspot();
+  const FlagHierarchy& hierarchy = FlagHierarchy::hotspot();
+
+  if (argc >= 2 && std::strcmp(argv[1], "--active") != 0) {
+    print_flag(registry, argv[1]);
+    return 0;
+  }
+
+  Configuration config(registry);
+  for (int i = 2; i < argc; ++i) {
+    const std::string text = argv[i];
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string name = text.substr(0, eq);
+    config.set_bool(name, text.substr(eq + 1) == "true");
+  }
+
+  std::printf("catalog: %zu flags, %zu structural, full space 10^%.0f "
+              "configurations\n\n",
+              registry.size(), hierarchy.structural_flags().size(),
+              registry.log10_space_size_all());
+  std::printf("hierarchy under %s (+ active / - gated off):\n",
+              config.changed_flags().empty() ? "defaults"
+                                             : config.render_command_line().c_str());
+  print_tree(hierarchy.root(), config, 1);
+  std::printf("\nactive flags: %zu of %zu; searched space 10^%.0f\n",
+              hierarchy.active_flags(config).size(), registry.size(),
+              hierarchy.log10_active_space(config));
+  for (const auto& violation : validate(config)) {
+    std::printf("note: %s\n", violation.message.c_str());
+  }
+  return 0;
+}

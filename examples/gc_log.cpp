@@ -1,0 +1,50 @@
+// gc_log: print a HotSpot-style GC log for one simulated run — the
+// simulator's -verbose:gc. Accepts the same flag assignments as sim_report.
+//
+//   ./gc_log h2
+//   ./gc_log h2 UseConcMarkSweepGC=true UseParallelGC=false UseParNewGC=true
+#include <cstdio>
+#include <string>
+
+#include "flags/parse.hpp"
+#include "jvmsim/engine.hpp"
+#include "support/units.hpp"
+#include "workloads/suites.hpp"
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "h2";
+  const jat::WorkloadSpec& workload = jat::find_workload(workload_name);
+
+  jat::Configuration config(jat::FlagRegistry::hotspot());
+  for (int i = 2; i < argc; ++i) {
+    // Accept both "Name=value" and "-XX:..." spellings.
+    const std::string arg = argv[i];
+    jat::apply_option(config,
+                      arg.rfind("-", 0) == 0 ? arg : "-XX:" + arg);
+  }
+
+  jat::SimOptions options;
+  options.collect_trace = true;
+  jat::JvmSimulator simulator(options);
+  const jat::RunResult r = simulator.run(config, workload, /*seed=*/7);
+
+  if (r.crashed) {
+    std::printf("run crashed: %s\n", r.crash_reason.c_str());
+    return 1;
+  }
+  std::printf("# %s under %s\n", workload.name.c_str(),
+              config.changed_flags().empty()
+                  ? "defaults"
+                  : config.render_command_line().c_str());
+  for (const jat::GcEvent& event : r.trace->gc_events) {
+    std::printf("%s\n", jat::RunTrace::render(event, r.heap_capacity).c_str());
+  }
+  std::printf("# total %s, gc pauses %s over %lld young + %lld full, "
+              "max pause %s\n",
+              r.total_time.to_string().c_str(),
+              r.gc_pause_total.to_string().c_str(),
+              static_cast<long long>(r.young_gc_count),
+              static_cast<long long>(r.full_gc_count),
+              r.gc_pause_max.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: tune one benchmark end-to-end and print what the tuner found.
+//
+//   ./quickstart [workload] [budget-minutes]
+//
+// Defaults to the DaCapo lusearch workload with a 30-simulated-minute
+// budget, which finishes in a couple of wall-clock seconds.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "tuner/session.hpp"
+#include "workloads/suites.hpp"
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "lusearch";
+  const double budget_minutes = argc > 2 ? std::atof(argv[2]) : 30.0;
+
+  const jat::WorkloadSpec& workload = jat::find_workload(workload_name);
+
+  jat::JvmSimulator simulator;
+  jat::SessionOptions options;
+  options.budget = jat::SimTime::minutes(budget_minutes);
+  jat::TuningSession session(simulator, workload, options);
+
+  jat::HierarchicalTuner tuner;
+  const jat::TuningOutcome outcome = session.run(tuner);
+
+  std::printf("\nworkload            %s\n", outcome.workload_name.c_str());
+  std::printf("tuner               %s\n", outcome.tuner_name.c_str());
+  std::printf("default run time    %s ms\n", jat::fmt(outcome.default_ms, 0).c_str());
+  std::printf("tuned run time      %s ms\n", jat::fmt(outcome.best_ms, 0).c_str());
+  std::printf("improvement         %s (speedup %.2fx)\n",
+              jat::format_percent(outcome.improvement_frac()).c_str(),
+              outcome.speedup());
+  std::printf("configurations      %lld evaluated, %lld JVM runs\n",
+              static_cast<long long>(outcome.evaluations),
+              static_cast<long long>(outcome.runs));
+
+  std::printf("\nbest configuration (non-default flags):\n");
+  const auto changed = outcome.best_config.changed_flags();
+  for (jat::FlagId id : changed) {
+    std::printf("  %s\n", outcome.best_config.render_flag(id).c_str());
+  }
+  if (changed.empty()) std::printf("  (defaults were best)\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// sim_report: run one workload under a configuration and print the
+// simulator's full accounting — the "-verbose:gc + -XX:+PrintCompilation"
+// view of a run. Useful for understanding *why* a configuration is fast or
+// slow before tuning it.
+//
+//   ./sim_report [workload] [flag assignments...]
+//   ./sim_report h2 MaxHeapSize=4g UseConcMarkSweepGC=true UseParallelGC=false
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "flags/validate.hpp"
+#include "jvmsim/engine.hpp"
+#include "support/units.hpp"
+#include "workloads/suites.hpp"
+
+namespace {
+
+// Parses "Name=value" using the flag's declared type.
+void apply_assignment(jat::Configuration& config, const std::string& text) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos) {
+    std::fprintf(stderr, "ignoring malformed assignment '%s'\n", text.c_str());
+    return;
+  }
+  const std::string name = text.substr(0, eq);
+  const std::string value = text.substr(eq + 1);
+  const jat::FlagRegistry& registry = config.registry();
+  const jat::FlagId id = registry.require(name);
+  switch (registry.spec(id).type) {
+    case jat::FlagType::kBool:
+      config.set_bool(name, value == "true" || value == "1");
+      break;
+    case jat::FlagType::kInt:
+      config.set_int(name, std::stoll(value));
+      break;
+    case jat::FlagType::kSize:
+      config.set_int(name, jat::parse_bytes(value));
+      break;
+    case jat::FlagType::kDouble:
+      config.set_double(name, std::stod(value));
+      break;
+    case jat::FlagType::kEnum:
+      config.set_enum(name, value);
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "lusearch";
+  const jat::WorkloadSpec& workload = jat::find_workload(workload_name);
+
+  jat::Configuration config(jat::FlagRegistry::hotspot());
+  for (int i = 2; i < argc; ++i) apply_assignment(config, argv[i]);
+
+  for (const auto& violation : jat::validate(config)) {
+    std::fprintf(stderr, "%s: %s (%s)\n",
+                 violation.severity == jat::Severity::kFatal ? "FATAL" : "warn",
+                 violation.message.c_str(), violation.flag.c_str());
+  }
+
+  jat::JvmSimulator simulator;
+  const jat::RunResult r = simulator.run(config, workload, /*seed=*/42);
+
+  std::printf("workload         %s\n", workload.name.c_str());
+  std::printf("flags            %s\n",
+              config.changed_flags().empty() ? "(defaults)"
+                                             : config.render_command_line().c_str());
+  if (r.crashed) {
+    std::printf("CRASHED          %s\n", r.crash_reason.c_str());
+    return 1;
+  }
+  std::printf("total time       %s\n", r.total_time.to_string().c_str());
+  std::printf("  startup        %s (class load %s)\n",
+              r.startup_time.to_string().c_str(),
+              r.class_load_time.to_string().c_str());
+  std::printf("  gc pauses      %s over %lld young + %lld full "
+              "(max %s, %lld conc cycles, %lld CMF, %lld promo fail)\n",
+              r.gc_pause_total.to_string().c_str(),
+              static_cast<long long>(r.young_gc_count),
+              static_cast<long long>(r.full_gc_count),
+              r.gc_pause_max.to_string().c_str(),
+              static_cast<long long>(r.concurrent_cycles),
+              static_cast<long long>(r.concurrent_mode_failures),
+              static_cast<long long>(r.promotion_failures));
+  std::printf("  concurrent cpu %s\n", r.concurrent_gc_cpu.to_string().c_str());
+  std::printf("  compile cpu    %s (%lld C1 + %lld C2 methods)%s\n",
+              r.compile_cpu.to_string().c_str(),
+              static_cast<long long>(r.compiles_c1),
+              static_cast<long long>(r.compiles_c2),
+              r.code_cache_disabled ? " [code cache FULL: compiler disabled]" : "");
+  std::printf("  lock overhead  %s\n", r.lock_overhead.to_string().c_str());
+  std::printf("  safepoints     %s\n", r.safepoint_overhead.to_string().c_str());
+  std::printf("code cache       %s used, %lld flushes\n",
+              jat::format_bytes(r.code_cache_used).c_str(),
+              static_cast<long long>(r.code_cache_flushes));
+  std::printf("heap             peak %s of %s\n",
+              jat::format_bytes(r.peak_heap_used).c_str(),
+              jat::format_bytes(r.heap_capacity).c_str());
+  std::printf("throughput       %.1f work units/s\n", r.throughput());
+  return 0;
+}

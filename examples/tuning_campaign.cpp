@@ -1,0 +1,59 @@
+// tuning_campaign: tune a set of workloads with parallel candidate
+// evaluation, write a CSV report, and print the per-workload winners —
+// the shape of a nightly "retune the fleet" job built on the library.
+//
+//   ./tuning_campaign [budget-minutes] [eval-threads] [workload...]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "tuner/session.hpp"
+#include "workloads/suites.hpp"
+
+int main(int argc, char** argv) {
+  const double budget_minutes = argc > 1 ? std::atof(argv[1]) : 150.0;
+  const std::size_t eval_threads =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+  std::vector<std::string> names;
+  for (int i = 3; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) {
+    names = {"startup.serial", "startup.crypto.aes", "avrora", "lusearch"};
+  }
+
+  jat::set_log_level(jat::LogLevel::kWarn);
+  jat::JvmSimulator simulator;
+  jat::TextTable report(
+      {"workload", "default_ms", "tuned_ms", "improvement", "evals", "runs"});
+
+  for (const std::string& name : names) {
+    const jat::WorkloadSpec& workload = jat::find_workload(name);
+    jat::SessionOptions options;
+    options.budget = jat::SimTime::minutes(budget_minutes);
+    options.eval_threads = eval_threads;
+    jat::TuningSession session(simulator, workload, options);
+
+    // The GA benefits most from parallel batch evaluation.
+    jat::GeneticTuner tuner;
+    const jat::TuningOutcome outcome = session.run(tuner);
+
+    report.add_row({name, jat::fmt(outcome.default_ms, 0),
+                    jat::fmt(outcome.best_ms, 0),
+                    jat::format_percent(outcome.improvement_frac()),
+                    std::to_string(outcome.evaluations),
+                    std::to_string(outcome.runs)});
+    outcome.db->save_csv("campaign_" + name + ".csv");
+    std::printf("%-24s best flags: %s\n", name.c_str(),
+                outcome.best_config.render_command_line().substr(0, 100).c_str());
+  }
+
+  std::printf("\n%s\n", report.render().c_str());
+  if (report.save_csv("campaign_report.csv")) {
+    std::printf("report saved to campaign_report.csv; per-workload evaluation "
+                "logs in campaign_<name>.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,355 @@
+// The impactful core of the HotSpot flag catalog: flags the JVM simulator
+// actually reads (impact > 0). Names, types, defaults and domains follow
+// the JDK 7/8-era HotSpot `-XX:+PrintFlagsFinal` output the paper tuned.
+//
+// Two pseudo-flags model launcher options the paper's tuner also controls:
+// VMMode (-server / -client) and ExecutionMode (-Xmixed / -Xint / -Xcomp).
+#include <vector>
+
+#include "flags/catalog_detail.hpp"
+#include "flags/registry.hpp"
+#include "support/units.hpp"
+
+namespace jat {
+
+namespace catalog_detail {
+
+namespace {
+
+void append_memory_flags(std::vector<FlagSpec>& out) {
+  using S = Subsystem;
+  add_size(out, "InitialHeapSize", S::kMemory, 64 * kMiB, 8 * kMiB, 4 * kGiB, 0.5,
+           "Initial total heap size; low values cause growth pauses early on");
+  add_size(out, "MaxHeapSize", S::kMemory, kGiB, 16 * kMiB, 8 * kGiB, 1.0,
+           "Maximum total heap size (-Xmx); default models the 1/4-of-RAM "
+           "ergonomic on the reference machine. Dominates GC frequency");
+  add_int(out, "NewRatio", S::kMemory, 2, 1, 16, 0.7,
+          "Old/young generation size ratio when NewSize is not pinned");
+  add_size(out, "NewSize", S::kMemory, 16 * kMiB, kMiB, 2 * kGiB, 0.5,
+           "Initial young generation size");
+  add_size(out, "MaxNewSize", S::kMemory, 0, 0, 4 * kGiB, 0.5,
+           "Upper bound on the young generation; 0 means derived from NewRatio");
+  add_int(out, "SurvivorRatio", S::kMemory, 8, 1, 64, 0.6,
+          "Eden/survivor-space size ratio");
+  add_int(out, "TargetSurvivorRatio", S::kMemory, 50, 1, 100, 0.3,
+          "Desired survivor-space occupancy after a scavenge, percent");
+  add_int(out, "MaxTenuringThreshold", S::kMemory, 15, 0, 15, 0.6,
+          "Copy an object this many times between survivor spaces before promoting");
+  add_int(out, "InitialTenuringThreshold", S::kMemory, 7, 0, 15, 0.2,
+          "Starting tenuring threshold before adaptive adjustment");
+  add_size(out, "MetaspaceSize", S::kMemory, 21 * kMiB, 4 * kMiB, 512 * kMiB, 0.2,
+           "Metaspace size that first triggers a metadata GC");
+  add_size(out, "MaxMetaspaceSize", S::kMemory, 512 * kMiB, 16 * kMiB, 2 * kGiB, 0.1,
+           "Hard limit on class metadata");
+  add_int(out, "ThreadStackSize", S::kMemory, 1024, 64, 8192, 0.15,
+          "Java thread stack size in KiB");
+  add_bool(out, "UseTLAB", S::kMemory, true, 0.5,
+           "Thread-local allocation buffers; disabling serialises allocation");
+  add_size(out, "TLABSize", S::kMemory, 0, 0, 16 * kMiB, 0.2,
+           "Fixed TLAB size; 0 lets the VM size them adaptively");
+  add_bool(out, "ResizeTLAB", S::kMemory, true, 0.2,
+           "Adapt TLAB size to per-thread allocation rate");
+  add_int(out, "TLABWasteTargetPercent", S::kMemory, 1, 1, 100, 0.1,
+          "Eden fraction a retired TLAB may waste, percent");
+  add_int(out, "MinHeapFreeRatio", S::kMemory, 40, 5, 95, 0.2,
+          "Grow the heap when free space falls below this percent");
+  add_int(out, "MaxHeapFreeRatio", S::kMemory, 70, 10, 100, 0.2,
+          "Shrink the heap when free space exceeds this percent");
+  add_bool(out, "UseCompressedOops", S::kMemory, true, 0.3,
+           "32-bit object references under 32 GiB heaps; shrinks live set");
+  add_bool(out, "UseLargePages", S::kMemory, false, 0.25,
+           "Back the heap with huge pages; fewer TLB misses");
+  add_bool(out, "AlwaysPreTouch", S::kMemory, false, 0.15,
+           "Touch every heap page at init: slower startup, steadier runtime");
+  add_bool(out, "UseNUMA", S::kMemory, false, 0.1,
+           "NUMA-aware eden allocation");
+  add_size(out, "PretenureSizeThreshold", S::kMemory, 0, 0, 64 * kMiB, 0.2,
+           "Objects at least this large allocate directly in the old gen; 0 disables");
+}
+
+void append_gc_common_flags(std::vector<FlagSpec>& out) {
+  using S = Subsystem;
+  add_bool(out, "UseSerialGC", S::kGcCommon, false, 1.0,
+           "Single-threaded stop-the-world collector for both generations");
+  add_bool(out, "UseParallelGC", S::kGcCommon, true, 1.0,
+           "Multi-threaded stop-the-world young collector (throughput GC)");
+  add_bool(out, "UseParallelOldGC", S::kGcCommon, true, 0.4,
+           "Parallel compaction of the old generation (with UseParallelGC)");
+  add_bool(out, "UseConcMarkSweepGC", S::kGcCommon, false, 1.0,
+           "Concurrent mark-sweep old-generation collector");
+  add_bool(out, "UseParNewGC", S::kGcCommon, false, 0.4,
+           "Parallel young collector paired with CMS");
+  add_bool(out, "UseG1GC", S::kGcCommon, false, 1.0,
+           "Region-based garbage-first collector");
+  add_int(out, "ParallelGCThreads", S::kGcCommon, 8, 1, 64, 0.8,
+          "Worker threads for stop-the-world GC phases");
+  add_int(out, "ConcGCThreads", S::kGcCommon, 2, 1, 32, 0.5,
+          "Threads for concurrent GC work (CMS / G1 marking)");
+  add_int(out, "MaxGCPauseMillis", S::kGcCommon, 0, 0, 5000, 0.6,
+          "Soft pause-time goal for adaptive collectors; 0 = ergonomic "
+          "(no goal for the throughput collectors, 200 ms for G1)");
+  add_int(out, "GCTimeRatio", S::kGcCommon, 99, 1, 100, 0.3,
+          "Throughput goal: 1/(1+ratio) of time may be spent in GC");
+  add_bool(out, "UseAdaptiveSizePolicy", S::kGcCommon, true, 0.4,
+           "Let the collector resize generations toward its goals");
+  add_int(out, "AdaptiveSizePolicyWeight", S::kGcCommon, 10, 0, 100, 0.1,
+          "Weight given to current vs historical samples when resizing");
+  add_bool(out, "DisableExplicitGC", S::kGcCommon, false, 0.1,
+           "Ignore System.gc() calls from the application");
+  add_bool(out, "ScavengeBeforeFullGC", S::kGcCommon, true, 0.1,
+           "Run a young collection before every full collection");
+  add_int(out, "SoftRefLRUPolicyMSPerMB", S::kGcCommon, 1000, 0, 10000, 0.05,
+          "Soft-reference retention per MiB of free heap, ms");
+  add_bool(out, "ParallelRefProcEnabled", S::kGcCommon, false, 0.2,
+           "Process Reference objects with multiple GC threads");
+  add_bool(out, "UseGCOverheadLimit", S::kGcCommon, true, 0.05,
+           "Throw OutOfMemoryError when GC dominates run time");
+}
+
+void append_cms_flags(std::vector<FlagSpec>& out) {
+  using S = Subsystem;
+  add_int(out, "CMSInitiatingOccupancyFraction", S::kGcCms, 68, 0, 100, 0.9,
+          "Old-gen occupancy percent that starts a concurrent cycle");
+  add_bool(out, "UseCMSInitiatingOccupancyOnly", S::kGcCms, false, 0.5,
+           "Use only the occupancy fraction (no ergonomic triggering)");
+  add_int(out, "CMSTriggerRatio", S::kGcCms, 80, 0, 100, 0.2,
+          "Percent of MinHeapFreeRatio allocated before a cycle starts");
+  add_bool(out, "CMSIncrementalMode", S::kGcCms, false, 0.3,
+           "Incremental (time-sliced) concurrent marking for small machines");
+  add_bool(out, "CMSConcurrentMTEnabled", S::kGcCms, true, 0.3,
+           "Use multiple threads for concurrent phases");
+  add_bool(out, "CMSParallelRemarkEnabled", S::kGcCms, true, 0.4,
+           "Parallelise the stop-the-world remark pause");
+  add_bool(out, "CMSParallelInitialMarkEnabled", S::kGcCms, true, 0.2,
+           "Parallelise the initial-mark pause");
+  add_bool(out, "CMSScavengeBeforeRemark", S::kGcCms, false, 0.3,
+           "Young collection immediately before remark to shrink the pause");
+  add_bool(out, "CMSClassUnloadingEnabled", S::kGcCms, true, 0.1,
+           "Unload classes during concurrent cycles");
+  add_int(out, "CMSFullGCsBeforeCompaction", S::kGcCms, 0, 0, 10, 0.2,
+          "Foreground full collections between old-gen compactions");
+  add_int(out, "CMSMaxAbortablePrecleanTime", S::kGcCms, 5000, 0, 30000, 0.1,
+          "Time budget for the abortable preclean phase, ms");
+  add_int(out, "CMSWaitDuration", S::kGcCms, 2000, 0, 10000, 0.05,
+          "Max wait for a scavenge before initial mark, ms");
+  add_int(out, "CMSExpAvgFactor", S::kGcCms, 50, 0, 100, 0.05,
+          "Exponential-average weight for CMS statistics");
+  add_bool(out, "CMSPrecleaningEnabled", S::kGcCms, true, 0.1,
+           "Run the precleaning phase before remark");
+  add_bool(out, "UseCMSCompactAtFullCollection", S::kGcCms, true, 0.2,
+           "Compact the old generation on foreground full collections");
+}
+
+void append_g1_flags(std::vector<FlagSpec>& out) {
+  using S = Subsystem;
+  add_size(out, "G1HeapRegionSize", S::kGcG1, kMiB, kMiB, 32 * kMiB, 0.5,
+           "Heap region granule; large regions cut per-region overhead",
+           /*step=*/kMiB);
+  add_int(out, "G1NewSizePercent", S::kGcG1, 5, 1, 50, 0.4,
+          "Minimum young generation, percent of heap");
+  add_int(out, "G1MaxNewSizePercent", S::kGcG1, 60, 10, 90, 0.4,
+          "Maximum young generation, percent of heap");
+  add_int(out, "InitiatingHeapOccupancyPercent", S::kGcG1, 45, 0, 100, 0.8,
+          "Whole-heap occupancy percent that starts concurrent marking");
+  add_int(out, "G1MixedGCCountTarget", S::kGcG1, 8, 1, 32, 0.3,
+          "Target number of mixed collections after each marking cycle");
+  add_int(out, "G1HeapWastePercent", S::kGcG1, 5, 0, 50, 0.3,
+          "Reclaimable-space percent below which mixed GCs stop");
+  add_int(out, "G1MixedGCLiveThresholdPercent", S::kGcG1, 85, 0, 100, 0.3,
+          "Region liveness percent above which regions are not collected");
+  add_int(out, "G1ReservePercent", S::kGcG1, 10, 0, 50, 0.2,
+          "Heap percent kept free as to-space reserve");
+  add_int(out, "G1RSetUpdatingPauseTimePercent", S::kGcG1, 10, 0, 100, 0.2,
+          "Pause-budget percent for remembered-set updating");
+  add_int(out, "G1ConcRefinementThreads", S::kGcG1, 4, 1, 32, 0.2,
+          "Concurrent remembered-set refinement threads");
+}
+
+void append_parallel_flags(std::vector<FlagSpec>& out) {
+  using S = Subsystem;
+  add_bool(out, "UseAdaptiveGCBoundary", S::kGcParallel, false, 0.1,
+           "Move the young/old boundary adaptively");
+  add_int(out, "GCTimeLimit", S::kGcParallel, 98, 50, 100, 0.05,
+          "GC-time percent that, with GCHeapFreeLimit, triggers OOME");
+  add_int(out, "GCHeapFreeLimit", S::kGcParallel, 2, 0, 50, 0.05,
+          "Minimum free-heap percent after a full GC");
+  add_int(out, "ParGCArrayScanChunk", S::kGcParallel, 50, 10, 1000, 0.05,
+          "Array chunking granularity for parallel scanning");
+}
+
+void append_compiler_flags(std::vector<FlagSpec>& out) {
+  using S = Subsystem;
+  add_bool(out, "TieredCompilation", S::kCompiler, true, 1.0,
+           "Profile-guided C1->C2 pipeline instead of a single compiler");
+  add_int(out, "TieredStopAtLevel", S::kCompiler, 4, 0, 4, 0.7,
+          "Highest tier used: 0 interpreter-only .. 4 full C2");
+  add_int(out, "CompileThreshold", S::kCompiler, 10000, 100, 1000000, 0.9,
+          "Interpreted invocations before (non-tiered) compilation",
+          /*log_scale=*/true);
+  add_int(out, "Tier3InvocationThreshold", S::kCompiler, 200, 10, 100000, 0.5,
+          "Invocations that trigger a C1-with-profiling compile", true);
+  add_int(out, "Tier3CompileThreshold", S::kCompiler, 2000, 100, 1000000, 0.5,
+          "Invocation+backedge count gating tier-3 compiles", true);
+  add_int(out, "Tier3BackEdgeThreshold", S::kCompiler, 60000, 1000, 10000000, 0.3,
+          "Backedge count triggering tier-3 OSR compiles", true);
+  add_int(out, "Tier4InvocationThreshold", S::kCompiler, 5000, 100, 1000000, 0.6,
+          "Invocations that promote a method to a C2 compile", true);
+  add_int(out, "Tier4CompileThreshold", S::kCompiler, 15000, 1000, 2000000, 0.6,
+          "Invocation+backedge count gating tier-4 compiles", true);
+  add_int(out, "Tier4BackEdgeThreshold", S::kCompiler, 40000, 1000, 10000000, 0.3,
+          "Backedge count triggering tier-4 OSR compiles", true);
+  add_int(out, "CICompilerCount", S::kCompiler, 3, 1, 16, 0.6,
+          "JIT compiler threads");
+  add_bool(out, "BackgroundCompilation", S::kCompiler, true, 0.5,
+           "Compile asynchronously; methods keep interpreting meanwhile");
+  add_size(out, "ReservedCodeCacheSize", S::kCompiler, 48 * kMiB, 4 * kMiB,
+           512 * kMiB, 0.7, "Code cache capacity; overflow stops compilation");
+  add_size(out, "InitialCodeCacheSize", S::kCompiler, 2496 * kKiB, 512 * kKiB,
+           64 * kMiB, 0.1, "Code cache size at startup");
+  add_bool(out, "UseCodeCacheFlushing", S::kCompiler, true, 0.4,
+           "Evict cold compiled methods when the code cache fills");
+  add_bool(out, "UseOnStackReplacement", S::kCompiler, true, 0.4,
+           "Switch hot loops to compiled code mid-execution");
+  add_int(out, "OnStackReplacePercentage", S::kCompiler, 140, 0, 1000, 0.2,
+          "OSR trigger as a percent of CompileThreshold");
+  add_int(out, "MaxInlineSize", S::kCompiler, 35, 0, 500, 0.5,
+          "Max bytecode size of an inlinable callee");
+  add_int(out, "FreqInlineSize", S::kCompiler, 325, 0, 2000, 0.4,
+          "Max bytecode size of a frequently-called inlinable callee");
+  add_int(out, "MaxInlineLevel", S::kCompiler, 9, 0, 30, 0.3,
+          "Max depth of nested inlining");
+  add_int(out, "MaxRecursiveInlineLevel", S::kCompiler, 1, 0, 10, 0.1,
+          "Max recursive inlining depth");
+  add_int(out, "InlineSmallCode", S::kCompiler, 1000, 0, 10000, 0.3,
+          "Re-inline already-compiled methods smaller than this (native bytes)");
+  add_int(out, "MinInliningThreshold", S::kCompiler, 250, 0, 10000, 0.1,
+          "Min invocation count before a callee is considered for inlining");
+  add_bool(out, "AggressiveOpts", S::kCompiler, false, 0.3,
+           "Enable point-release optimistic optimisations");
+  add_bool(out, "UseFastAccessorMethods", S::kCompiler, false, 0.1,
+           "Specialised interpreter entries for getters/setters");
+  add_bool(out, "UseCounterDecay", S::kCompiler, true, 0.1,
+           "Decay invocation counters over time");
+  add_bool(out, "UseTypeProfile", S::kCompiler, true, 0.2,
+           "Feed receiver-type profiles into the optimising compiler");
+  add_bool(out, "UseAES", S::kCompiler, true, 0.15,
+           "Hardware AES instructions");
+  add_bool(out, "UseAESIntrinsics", S::kCompiler, true, 0.25,
+           "Intrinsified AES encrypt/decrypt kernels");
+  add_bool(out, "UseSHA", S::kCompiler, true, 0.1,
+           "Hardware SHA instructions");
+  add_bool(out, "UseCRC32Intrinsics", S::kCompiler, true, 0.1,
+           "Intrinsified CRC32 checksums");
+}
+
+void append_c1_c2_flags(std::vector<FlagSpec>& out) {
+  using S = Subsystem;
+  add_bool(out, "C1OptimizeVirtualCallProfiling", S::kCompilerC1, true, 0.1,
+           "Profile virtual calls in C1 for later C2 devirtualisation");
+  add_bool(out, "C1UpdateMethodData", S::kCompilerC1, true, 0.1,
+           "Maintain MethodData counters in C1-compiled code");
+  add_int(out, "C1MaxInlineLevel", S::kCompilerC1, 9, 0, 30, 0.1,
+          "Max inline depth in the C1 compiler");
+
+  add_bool(out, "DoEscapeAnalysis", S::kCompilerC2, true, 0.5,
+           "Escape analysis enabling scalar replacement and lock elision");
+  add_bool(out, "EliminateAllocations", S::kCompilerC2, true, 0.3,
+           "Scalar-replace non-escaping allocations");
+  add_bool(out, "EliminateLocks", S::kCompilerC2, true, 0.3,
+           "Elide locks on non-escaping objects");
+  add_bool(out, "UseSuperWord", S::kCompilerC2, true, 0.4,
+           "Auto-vectorise counted loops (SLP)");
+  add_int(out, "LoopUnrollLimit", S::kCompilerC2, 50, 0, 512, 0.4,
+          "Node-count budget for loop unrolling");
+  add_int(out, "LoopMaxUnroll", S::kCompilerC2, 16, 0, 64, 0.2,
+          "Max unroll factor");
+  add_bool(out, "UseLoopPredicate", S::kCompilerC2, true, 0.2,
+           "Hoist loop-invariant range checks behind a predicate");
+  add_bool(out, "OptimizeStringConcat", S::kCompilerC2, true, 0.2,
+           "Fuse StringBuilder append chains");
+  add_int(out, "AutoBoxCacheMax", S::kCompilerC2, 128, 0, 20000, 0.1,
+          "Upper bound of the Integer autobox cache");
+  add_int(out, "MaxVectorSize", S::kCompilerC2, 32, 4, 64, 0.2,
+          "Max vector width in bytes for SLP");
+  add_int(out, "MaxNodeLimit", S::kCompilerC2, 80000, 10000, 240000, 0.05,
+          "Ideal-graph node budget per compilation");
+  add_bool(out, "UseOptoBiasInlining", S::kCompilerC2, true, 0.05,
+           "Inline biased-locking fast paths in C2 code");
+}
+
+void append_runtime_flags(std::vector<FlagSpec>& out) {
+  using S = Subsystem;
+  add_bool(out, "UseBiasedLocking", S::kRuntime, true, 0.6,
+           "Bias monitors to their dominant thread; cheap uncontended locking");
+  add_int(out, "BiasedLockingStartupDelay", S::kRuntime, 4000, 0, 60000, 0.3,
+          "Delay before biasing kicks in, ms");
+  add_int(out, "BiasedLockingBulkRebiasThreshold", S::kRuntime, 20, 0, 1000, 0.05,
+          "Revocations per type before bulk rebias");
+  add_int(out, "BiasedLockingBulkRevokeThreshold", S::kRuntime, 40, 0, 1000, 0.05,
+          "Revocations per type before bulk revoke");
+  add_int(out, "PreBlockSpin", S::kRuntime, 10, 0, 100, 0.2,
+          "Spin iterations before parking on a contended monitor");
+  add_bool(out, "UseThreadPriorities", S::kRuntime, true, 0.05,
+           "Map Java priorities onto native priorities");
+  add_int(out, "GuaranteedSafepointInterval", S::kRuntime, 1000, 0, 100000, 0.1,
+          "Force a safepoint at least this often, ms (0 = never)");
+  add_bool(out, "UseCountedLoopSafepoints", S::kRuntime, false, 0.1,
+           "Keep safepoint polls inside counted loops");
+  add_bool(out, "RewriteBytecodes", S::kRuntime, true, 0.2,
+           "Interpreter bytecode rewriting fast paths");
+  add_bool(out, "RewriteFrequentPairs", S::kRuntime, true, 0.2,
+           "Fuse frequent interpreter bytecode pairs");
+  add_bool(out, "UseInlineCaches", S::kRuntime, true, 0.3,
+           "Inline caches for virtual dispatch");
+  add_int(out, "StringTableSize", S::kRuntime, 60013, 1009, 1000003, 0.05,
+          "Interned-string hash buckets");
+  add_bool(out, "UseFastJNIAccessors", S::kRuntime, true, 0.1,
+           "JNI field access without full transitions");
+  add_enum(out, "VMMode", S::kRuntime, "server", {"server", "client"}, 0.6,
+           "Launcher VM selection (-server / -client)");
+  add_enum(out, "ExecutionMode", S::kRuntime, "mixed", {"mixed", "int", "comp"},
+           0.5, "Launcher execution mode (-Xmixed / -Xint / -Xcomp)");
+}
+
+void append_classload_flags(std::vector<FlagSpec>& out) {
+  using S = Subsystem;
+  add_bool(out, "BytecodeVerificationRemote", S::kClassload, true, 0.3,
+           "Verify classes from remote (non-bootclasspath) loaders");
+  add_bool(out, "BytecodeVerificationLocal", S::kClassload, false, 0.1,
+           "Verify boot-classpath classes too");
+  add_bool(out, "UseSharedSpaces", S::kClassload, true, 0.3,
+           "Map the class-data-sharing archive; faster startup");
+  add_bool(out, "ClassUnloading", S::kClassload, true, 0.1,
+           "Allow unloading of dead classes at full GC");
+  add_bool(out, "UsePerfData", S::kClassload, true, 0.05,
+           "Maintain the jvmstat performance counters");
+}
+
+}  // namespace
+
+void append_core_flags(std::vector<FlagSpec>& out) {
+  append_memory_flags(out);
+  append_gc_common_flags(out);
+  append_cms_flags(out);
+  append_g1_flags(out);
+  append_parallel_flags(out);
+  append_compiler_flags(out);
+  append_c1_c2_flags(out);
+  append_runtime_flags(out);
+  append_classload_flags(out);
+}
+
+}  // namespace catalog_detail
+
+const FlagRegistry& FlagRegistry::hotspot() {
+  static const FlagRegistry registry = [] {
+    std::vector<FlagSpec> specs;
+    specs.reserve(700);
+    catalog_detail::append_core_flags(specs);
+    catalog_detail::append_tail_flags(specs);
+    return FlagRegistry(std::move(specs));
+  }();
+  return registry;
+}
+
+}  // namespace jat

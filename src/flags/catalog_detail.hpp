@@ -1,0 +1,97 @@
+// Internal builder helpers shared by the catalog translation units.
+//
+// The catalog is written as dense tables; these helpers keep each flag to
+// one line. Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flags/flag_spec.hpp"
+#include "support/units.hpp"
+
+namespace jat::catalog_detail {
+
+using I64 = std::int64_t;
+
+/// Boolean flag.
+inline void add_bool(std::vector<FlagSpec>& out, const char* name, Subsystem sub,
+                     bool def, double impact, const char* desc) {
+  FlagSpec spec;
+  spec.name = name;
+  spec.type = FlagType::kBool;
+  spec.subsystem = sub;
+  spec.default_value = FlagValue(def);
+  spec.impact = impact;
+  spec.description = desc;
+  out.push_back(std::move(spec));
+}
+
+/// Integer flag with a linear domain.
+inline void add_int(std::vector<FlagSpec>& out, const char* name, Subsystem sub,
+                    I64 def, I64 lo, I64 hi, double impact, const char* desc,
+                    bool log_scale = false, I64 step = 1) {
+  FlagSpec spec;
+  spec.name = name;
+  spec.type = FlagType::kInt;
+  spec.subsystem = sub;
+  spec.default_value = FlagValue(def);
+  spec.int_domain = {lo, hi, log_scale, step};
+  spec.impact = impact;
+  spec.description = desc;
+  out.push_back(std::move(spec));
+}
+
+/// Byte-size flag; always explored on a log scale.
+inline void add_size(std::vector<FlagSpec>& out, const char* name, Subsystem sub,
+                     I64 def, I64 lo, I64 hi, double impact, const char* desc,
+                     I64 step = 64 * kKiB) {
+  FlagSpec spec;
+  spec.name = name;
+  spec.type = FlagType::kSize;
+  spec.subsystem = sub;
+  spec.default_value = FlagValue(def);
+  spec.int_domain = {lo, hi, /*log_scale=*/true, step};
+  spec.impact = impact;
+  spec.description = desc;
+  out.push_back(std::move(spec));
+}
+
+/// Double flag.
+inline void add_double(std::vector<FlagSpec>& out, const char* name, Subsystem sub,
+                       double def, double lo, double hi, double impact,
+                       const char* desc) {
+  FlagSpec spec;
+  spec.name = name;
+  spec.type = FlagType::kDouble;
+  spec.subsystem = sub;
+  spec.default_value = FlagValue(def);
+  spec.double_domain = {lo, hi};
+  spec.impact = impact;
+  spec.description = desc;
+  out.push_back(std::move(spec));
+}
+
+/// Enum flag (first choice need not be the default).
+inline void add_enum(std::vector<FlagSpec>& out, const char* name, Subsystem sub,
+                     std::string def, std::vector<std::string> choices,
+                     double impact, const char* desc) {
+  FlagSpec spec;
+  spec.name = name;
+  spec.type = FlagType::kEnum;
+  spec.subsystem = sub;
+  spec.default_value = FlagValue(std::move(def));
+  spec.choices = std::move(choices);
+  spec.impact = impact;
+  spec.description = desc;
+  out.push_back(std::move(spec));
+}
+
+/// Appends the impactful core flags (read by the simulator).
+void append_core_flags(std::vector<FlagSpec>& out);
+
+/// Appends the performance-inert long tail (real HotSpot names; impact 0).
+void append_tail_flags(std::vector<FlagSpec>& out);
+
+}  // namespace jat::catalog_detail

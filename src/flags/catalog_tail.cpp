@@ -1,0 +1,442 @@
+// The long tail of the HotSpot flag catalog: real JDK 7/8-era flag names
+// whose effect the simulator does not model (impact 0). They matter to the
+// reproduction anyway: the paper's whole-JVM tuner faces a 600+ flag space
+// in which *most* flags are performance-inert, and its flag hierarchy
+// exists to keep the search from wasting budget on them. Flat-search
+// baselines in bench_f7_ablation mutate these and pay the price.
+#include <vector>
+
+#include "flags/catalog_detail.hpp"
+#include "support/units.hpp"
+
+namespace jat::catalog_detail {
+
+namespace {
+
+struct BoolEntry {
+  const char* name;
+  bool def;
+};
+
+struct IntEntry {
+  const char* name;
+  I64 def;
+  I64 lo;
+  I64 hi;
+};
+
+struct SizeEntry {
+  const char* name;
+  I64 def;
+  I64 lo;
+  I64 hi;
+};
+
+struct DoubleEntry {
+  const char* name;
+  double def;
+  double lo;
+  double hi;
+};
+
+// --- Diagnostic / print / trace / verify booleans -------------------------
+constexpr BoolEntry kDiagnosticBools[] = {
+    {"PrintGC", false}, {"PrintGCDetails", false}, {"PrintGCTimeStamps", false},
+    {"PrintGCDateStamps", false}, {"PrintGCApplicationStoppedTime", false},
+    {"PrintGCApplicationConcurrentTime", false}, {"PrintGCTaskTimeStamps", false},
+    {"PrintHeapAtGC", false}, {"PrintHeapAtGCExtended", false},
+    {"PrintHeapAtSIGBREAK", true}, {"PrintTenuringDistribution", false},
+    {"PrintAdaptiveSizePolicy", false}, {"PrintTLAB", false}, {"PrintPLAB", false},
+    {"PrintReferenceGC", false}, {"PrintJNIGCStalls", false},
+    {"PrintOldPLAB", false}, {"PrintPromotionFailure", false},
+    {"PrintGCCause", true}, {"PrintClassHistogram", false},
+    {"PrintClassHistogramAfterFullGC", false},
+    {"PrintClassHistogramBeforeFullGC", false}, {"PrintCompilation", false},
+    {"PrintCompilation2", false}, {"PrintInlining", false},
+    {"PrintIntrinsics", false}, {"PrintCodeCache", false},
+    {"PrintCodeCacheOnCompilation", false}, {"PrintAssembly", false},
+    {"PrintStubCode", false}, {"PrintInterpreter", false},
+    {"PrintNMethods", false}, {"PrintNativeNMethods", false},
+    {"PrintSignatureHandlers", false}, {"PrintAdapterHandlers", false},
+    {"PrintMethodFlushing", false}, {"PrintSafepointStatistics", false},
+    {"PrintStringTableStatistics", false}, {"PrintBiasedLockingStatistics", false},
+    {"PrintConcurrentLocks", false}, {"PrintCommandLineFlags", false},
+    {"PrintVMOptions", false}, {"PrintFlagsFinal", false},
+    {"PrintFlagsInitial", false}, {"PrintVMQWaitTime", false},
+    {"PrintCompressedOopsMode", false}, {"PrintSharedSpaces", false},
+    {"PrintTieredEvents", false}, {"PrintParallelOldGCPhaseTimes", false},
+    {"PrintCMSInitiationStatistics", false}, {"PrintOopAddress", false},
+    {"CITime", false}, {"CITimeEach", false}, {"CIPrintCompilerName", false},
+    {"CIPrintCompileQueue", false}, {"CICountOSR", false},
+    {"TraceClassLoading", false}, {"TraceClassLoadingPreorder", false},
+    {"TraceClassUnloading", false}, {"TraceClassResolution", false},
+    {"TraceLoaderConstraints", false}, {"TraceBiasedLocking", false},
+    {"TraceMonitorInflation", false}, {"TraceGen0Time", false},
+    {"TraceGen1Time", false}, {"TraceParallelOldGCTasks", false},
+    {"TraceDynamicGCThreads", false},
+    {"TraceMetadataHumongousAllocation", false},
+    {"TraceSuspendWaitFailures", false}, {"TraceSafepointCleanupTime", false},
+    {"VerifyBeforeGC", false}, {"VerifyAfterGC", false},
+    {"VerifyDuringGC", false}, {"VerifyBeforeExit", false},
+    {"VerifyRememberedSets", false}, {"VerifyObjectStartArray", true},
+    {"VerifyMergedCPBytecodes", true}, {"VerifySharedSpaces", false},
+    {"VerifyBeforeIteration", false}, {"VerifyStringTableAtExit", false},
+    {"HeapDumpOnOutOfMemoryError", false}, {"HeapDumpBeforeFullGC", false},
+    {"HeapDumpAfterFullGC", false}, {"CrashOnOutOfMemoryError", false},
+    {"ExitOnOutOfMemoryError", false}, {"ShowMessageBoxOnError", false},
+    {"SuppressFatalErrorMessage", false}, {"CreateMinidumpOnCrash", false},
+    {"DumpReplayDataOnError", true}, {"TransmitErrorReport", false},
+    {"LogCompilation", false}, {"LogEvents", true}, {"LogVMOutput", false},
+    {"UseGCLogFileRotation", false}, {"G1SummarizeRSetStats", false},
+    {"G1PrintRegionLivenessInfo", false}, {"G1TraceConcRefinement", false},
+    {"WizardMode", false}, {"Verbose", false},
+};
+
+// --- Misc runtime / platform booleans --------------------------------------
+constexpr BoolEntry kRuntimeBools[] = {
+    {"CheckJNICalls", false}, {"RestoreMXCSROnJNICalls", false},
+    {"AllowUserSignalHandlers", false}, {"UseAltSigs", false},
+    {"ReduceSignalUsage", false}, {"UseVMInterruptibleIO", false},
+    {"DisableAttachMechanism", false}, {"StartAttachListener", false},
+    {"ManagementServer", false}, {"PerfDataSaveToFile", false},
+    {"PerfDisableSharedMem", false}, {"PauseAtStartup", false},
+    {"PauseAtExit", false}, {"UseBoundThreads", false},
+    {"UseOSErrorReporting", false}, {"ShowHiddenFrames", false},
+    {"ExtendedDTraceProbes", false}, {"DTraceMethodProbes", false},
+    {"DTraceAllocProbes", false}, {"DTraceMonitorProbes", false},
+    {"RelaxAccessControlCheck", false}, {"RequireSharedSpaces", false},
+    {"DumpSharedSpaces", false}, {"NeverActAsServerClassMachine", false},
+    {"AlwaysActAsServerClassMachine", false},
+    {"IgnoreUnrecognizedVMOptions", false}, {"UseHugeTLBFS", false},
+    {"UseSHM", false}, {"UseTransparentHugePages", false},
+    {"TrustFinalNonStaticFields", false}, {"EnableContended", true},
+    {"RestrictContended", true}, {"UseCondCardMark", false},
+    {"UseFPUForSpilling", false}, {"UseXmmLoadAndClearUpper", true},
+    {"UseXmmRegToRegMoveAll", true}, {"UseXMMForArrayCopy", false},
+    {"UseUnalignedLoadStores", false}, {"UseFastStosb", false},
+    {"UseStoreImmI16", true}, {"UseAddressNop", true},
+    {"UseNewLongLShift", false}, {"UseIncDec", true},
+    {"UseSSE42Intrinsics", false}, {"UseCLMUL", false},
+    {"UseBMI1Instructions", false}, {"UseBMI2Instructions", false},
+    {"UseRTMLocking", false}, {"UseRTMDeopt", false},
+    {"UsePopCountInstruction", true}, {"UseMultiplyToLenIntrinsic", false},
+    {"UseSquareToLenIntrinsic", false}, {"UseMulAddIntrinsic", false},
+    {"UseGHASHIntrinsics", false}, {"UseAdler32Intrinsics", false},
+    {"UseMontgomeryMultiplyIntrinsic", false},
+    {"UseMontgomerySquareIntrinsic", false}, {"UseSignalChaining", true},
+    {"LazyBootClassLoader", true}, {"FilterSpuriousWakeups", true},
+    {"UseMembar", false}, {"StackTraceInThrowable", true},
+    {"OmitStackTraceInFastThrow", true}, {"MonitorInUseLists", false},
+    {"UnlockDiagnosticVMOptions", false}, {"UnlockExperimentalVMOptions", false},
+    {"UnlockCommercialFeatures", false}, {"MaxFDLimit", true},
+    {"AllowParallelDefineClass", false}, {"MustCallLoadClassInternal", false},
+    {"UnsyncloadClass", false}, {"UseThreadPriorityBoost", false},
+    {"ThreadPriorityVerbose", false}, {"UseCriticalJavaThreadPriority", false},
+    {"UseCriticalCompilerThreadPriority", false},
+    {"UseCriticalCMSThreadPriority", false}, {"UseLWPSynchronization", true},
+    {"UseVMInterruptibleIONative", false}, {"EagerXrunInit", false},
+    {"PreserveAllAnnotations", false}, {"UseBsdPosixThreadCPUClocks", false},
+    {"UseLinuxPosixThreadCPUClocks", true}, {"UseOprofile", false},
+    {"UseSharedSpacesForBootLoader", true}, {"PrintWarnings", true},
+    {"AbortVMOnException", false}, {"AbortVMOnSafepointTimeout", false},
+};
+
+// --- Interpreter / compiler booleans ---------------------------------------
+constexpr BoolEntry kCompilerBools[] = {
+    {"UseInterpreter", true}, {"UseLoopCounter", true},
+    {"UseCompilerSafepoints", true}, {"ProfileInterpreter", true},
+    {"ProfileIntervals", false}, {"UseNiagaraInstrs", false},
+    {"DontCompileHugeMethods", true}, {"ClipInlining", true},
+    {"IncrementalInline", true}, {"InlineSynchronizedMethods", true},
+    {"UseSplitVerifier", true}, {"FailOverToOldVerifier", true},
+    {"UseCodeAging", true}, {"UseFastEmptyMethods", false},
+    {"CICompilerCountPerCPU", false}, {"MethodFlushing", true},
+    {"UseCompressedClassPointers", true}, {"EliminateAutoBox", true},
+    {"UseJumpTables", true}, {"UseDivMod", true},
+    {"UseCmoveUnconditionally", false}, {"BlockLayoutByFrequency", true},
+    {"BlockLayoutRotateLoops", true}, {"UseMathExactIntrinsics", true},
+    {"UseNotificationThread", true}, {"ReduceFieldZeroing", true},
+    {"ReduceInitialCardMarks", true}, {"ReduceBulkZeroing", true},
+    {"UseFastLocking", true}, {"UseFastNewInstance", true},
+    {"UseFastNewTypeArray", true}, {"UseFastNewObjectArray", true},
+    {"UseSlowPath", false}, {"UseStackBanging", true},
+    {"UseStrictFP", true}, {"GenerateSynchronizationCode", true},
+    {"GenerateRangeChecks", true}, {"UseLoopSafepoints", true},
+    {"OptimizeFill", true}, {"OptimizePtrCompare", true},
+    {"PartialPeelLoop", true}, {"UseCISCSpill", true},
+    {"SplitIfBlocks", true}, {"LoopUnswitching", true},
+    {"UseOldInlining", true}, {"InsertMemBarAfterArraycopy", true},
+    {"SpecialEncodeISOArray", true}, {"SpecialStringCompareTo", true},
+    {"SpecialStringIndexOf", true}, {"SpecialStringEquals", true},
+    {"SpecialArraysEquals", true}, {"UseVectorChars", false},
+};
+
+// --- GC booleans ------------------------------------------------------------
+constexpr BoolEntry kGcBools[] = {
+    {"UseDynamicNumberOfGCThreads", false}, {"BindGCTaskThreadsToCPUs", false},
+    {"UseGCTaskAffinity", false}, {"AlwaysTenure", false},
+    {"NeverTenure", false}, {"UsePSAdaptiveSurvivorSizePolicy", true},
+    {"UseAdaptiveGenerationSizePolicyAtMajorCollection", true},
+    {"UseAdaptiveGenerationSizePolicyAtMinorCollection", true},
+    {"UseAdaptiveSizeDecayMajorGCCost", true},
+    {"UseAdaptiveSizePolicyFootprintGoal", true},
+    {"UseAdaptiveSizePolicyWithSystemGC", false},
+    {"UseMaximumCompactionOnSystemGC", true}, {"CollectGen0First", false},
+    {"ZeroTLAB", false}, {"FastTLABRefill", true}, {"TLABStats", true},
+    {"UseAutoGCSelectPolicy", false}, {"UseCMSBestFit", true},
+    {"CMSYield", true}, {"CMSDumpAtPromotionFailure", false},
+    {"CMSEdenChunksRecordAlways", true}, {"CMSExtrapolateSweep", false},
+    {"CMSLoopWarn", false}, {"CMSPLABRecordAlways", true},
+    {"CMSReplenishIntermediate", true}, {"CMSSplitIndexedFreeListBlocks", true},
+    {"CMSAbortSemantics", false}, {"CMSCleanOnEnter", true},
+    {"CMSCompactWhenClearAllSoftRefs", true},
+    {"CMSOldPLABResizeQuicker", false}, {"CMSPrintChunksInDump", false},
+    {"CMSPrintObjectsInDump", false}, {"G1UseAdaptiveConcRefinement", true},
+    {"ParGCTrimOverflow", true}, {"ParGCUseLocalOverflow", false},
+    {"GCLockerInvokesConcurrent", false}, {"ExplicitGCInvokesConcurrent", false},
+    {"ExplicitGCInvokesConcurrentAndUnloadsClasses", false},
+    {"RefDiscoveryIsAtomic", true}, {"UseCompactibleFreeListSpace", true},
+    {"ResizePLAB", true}, {"ResizeOldPLAB", true},
+    {"AlwaysCompileLoopMethods", false}, {"DeoptimizeRandom", false},
+    {"StressLdcRewrite", false}, {"ScavengeBeforeRemark", false},
+};
+
+// --- Integer tail -----------------------------------------------------------
+constexpr IntEntry kIntTail[] = {
+    {"TLABAllocationWeight", 35, 0, 100}, {"TLABRefillWasteFraction", 64, 1, 1000},
+    {"TLABWasteIncrement", 4, 0, 100}, {"YoungPLABSize", 4096, 256, 65536},
+    {"OldPLABSize", 1024, 16, 65536}, {"OldPLABWeight", 50, 0, 100},
+    {"MinMetaspaceFreeRatio", 40, 0, 99}, {"MaxMetaspaceFreeRatio", 70, 1, 100},
+    {"InitialRAMFraction", 64, 1, 512}, {"MaxRAMFraction", 4, 1, 512},
+    {"MinRAMFraction", 2, 1, 512}, {"DefaultMaxRAMFraction", 4, 1, 512},
+    {"NUMAChunkResizeWeight", 20, 0, 100}, {"NUMAPageScanRate", 256, 0, 10000},
+    {"ObjectAlignmentInBytes", 8, 8, 256}, {"ContendedPaddingWidth", 128, 0, 8192},
+    {"QueuedAllocationWarningCount", 0, 0, 1000000},
+    {"ProcessDistributionStride", 4, 0, 100},
+    {"YoungGenerationSizeIncrement", 20, 0, 100},
+    {"YoungGenerationSizeSupplement", 80, 0, 100},
+    {"YoungGenerationSizeSupplementDecay", 8, 1, 100},
+    {"TenuredGenerationSizeIncrement", 20, 0, 100},
+    {"TenuredGenerationSizeSupplement", 80, 0, 100},
+    {"TenuredGenerationSizeSupplementDecay", 2, 1, 100},
+    {"MinSurvivorRatio", 3, 1, 64}, {"SurvivorPadding", 3, 0, 10},
+    {"PromotedPadding", 3, 0, 10}, {"PausePadding", 1, 0, 10},
+    {"ThresholdTolerance", 10, 0, 100}, {"MarkSweepDeadRatio", 5, 0, 100},
+    {"MarkSweepAlwaysCompactCount", 4, 1, 100},
+    {"HeapMaximumCompactionInterval", 20, 0, 1000},
+    {"HeapFirstMaximumCompactionCount", 3, 0, 1000},
+    {"AdaptiveSizeDecrementScaleFactor", 4, 1, 100},
+    {"AdaptiveSizeMajorGCDecayTimeScale", 10, 0, 100},
+    {"AdaptiveSizePolicyCollectionCostMargin", 50, 0, 100},
+    {"AdaptiveSizePolicyInitializingSteps", 20, 0, 1000},
+    {"AdaptiveSizePolicyOutputInterval", 0, 0, 100000},
+    {"AdaptiveSizeThroughPutPolicy", 0, 0, 1}, {"AdaptiveTimeWeight", 25, 0, 100},
+    {"GCDrainStackTargetSize", 64, 1, 65536},
+    {"GCLockerEdenExpansionPercent", 5, 0, 100},
+    {"NumberOfGCLogFiles", 0, 0, 100}, {"GCTaskTimeStampEntries", 200, 1, 10000},
+    {"ParGCDesiredObjsFromOverflowList", 20, 0, 10000},
+    {"ParallelGCBufferWastePct", 10, 0, 100}, {"ParGCStridesPerThread", 2, 1, 64},
+    {"TargetPLABWastePct", 10, 1, 100}, {"RefDiscoveryPolicy", 0, 0, 1},
+    {"MaxGCMinorPauseMillis", 10000, 10, 100000},
+    {"CMSScheduleRemarkEdenPenetration", 50, 0, 100},
+    {"CMSScheduleRemarkSamplingRatio", 5, 1, 100},
+    {"CMSRescanMultiple", 32, 1, 1024}, {"CMSConcMarkMultiple", 32, 1, 1024},
+    {"CMSIncrementalDutyCycle", 10, 0, 100},
+    {"CMSIncrementalDutyCycleMin", 0, 0, 100},
+    {"CMSIncrementalSafetyFactor", 10, 0, 100},
+    {"CMSIncrementalOffset", 0, 0, 100},
+    {"CMSIndexedFreeListReplenish", 4, 1, 100},
+    {"CMSInitiatingPermOccupancyFraction", 80, 0, 100},
+    {"CMSIsTooFullPercentage", 98, 0, 100}, {"CMSOldPLABMax", 1024, 1, 65536},
+    {"CMSOldPLABMin", 16, 1, 65536}, {"CMSOldPLABNumRefills", 4, 1, 100},
+    {"CMSOldPLABReactivityFactor", 2, 1, 100},
+    {"CMSOldPLABToleranceFactor", 4, 1, 100},
+    {"CMSParPromoteBlocksToClaim", 16, 1, 1000},
+    {"CMSPrecleanDenominator", 3, 1, 100}, {"CMSPrecleanNumerator", 2, 0, 99},
+    {"CMSPrecleanIter", 3, 0, 9}, {"CMSPrecleanThreshold", 1000, 100, 100000},
+    {"CMSSamplingGrain", 16, 1, 1000}, {"CMSTriggerInterval", 0, 0, 1000000},
+    {"CMSWorkQueueDrainThreshold", 10, 1, 100},
+    {"CMSYieldSleepCount", 0, 0, 100},
+    {"CMSAbortablePrecleanMinWorkPerIteration", 100, 0, 100000},
+    {"CMSAbortablePrecleanWaitMillis", 100, 0, 10000},
+    {"CMSBootstrapOccupancy", 50, 0, 100},
+    {"CMSCoordinatorYieldSleepCount", 10, 0, 100},
+    {"CMSMaxAbortablePrecleanLoops", 0, 0, 100000},
+    {"CMSRemarkVerifyVariant", 1, 1, 2}, {"FLSCoalescePolicy", 2, 0, 4},
+    {"G1ConcRefinementGreenZone", 0, 0, 100000},
+    {"G1ConcRefinementYellowZone", 0, 0, 100000},
+    {"G1ConcRefinementRedZone", 0, 0, 100000},
+    {"G1ConcRefinementServiceIntervalMillis", 300, 0, 100000},
+    {"G1ConcRefinementThresholdStep", 0, 0, 100},
+    {"G1ConcRSHotCardLimit", 4, 0, 100}, {"G1ConcRSLogCacheSize", 10, 0, 27},
+    {"G1ConfidencePercent", 50, 0, 100},
+    {"G1RSetRegionEntries", 0, 0, 100000},
+    {"G1RSetScanBlockSize", 64, 1, 65536},
+    {"G1RSetSparseRegionEntries", 0, 0, 100000},
+    {"G1RefProcDrainInterval", 10, 1, 100000},
+    {"G1SATBBufferEnqueueingThresholdPercent", 60, 0, 100},
+    {"G1UpdateBufferSize", 256, 1, 65536},
+    {"G1ExpandByPercentOfAvailable", 20, 0, 100},
+    {"Tier0InvokeNotifyFreqLog", 7, 0, 30},
+    {"Tier0BackedgeNotifyFreqLog", 10, 0, 30},
+    {"Tier2InvokeNotifyFreqLog", 11, 0, 30},
+    {"Tier2BackedgeNotifyFreqLog", 14, 0, 30},
+    {"Tier3InvokeNotifyFreqLog", 10, 0, 30},
+    {"Tier3BackedgeNotifyFreqLog", 13, 0, 30},
+    {"Tier23InlineeNotifyFreqLog", 20, 0, 30}, {"Tier3DelayOn", 5, 0, 1000},
+    {"Tier3DelayOff", 2, 0, 1000}, {"Tier3LoadFeedback", 5, 0, 100},
+    {"Tier4LoadFeedback", 3, 0, 100}, {"TieredRateUpdateMinTime", 1, 0, 1000},
+    {"TieredRateUpdateMaxTime", 25, 0, 10000},
+    {"Tier3MinInvocationThreshold", 100, 0, 100000},
+    {"Tier2CompileThreshold", 0, 0, 1000000},
+    {"Tier2BackEdgeThreshold", 0, 0, 10000000},
+    {"NmethodSweepFraction", 16, 1, 64},
+    {"NmethodSweepCheckInterval", 5, 0, 1000},
+    {"NmethodSweepActivity", 10, 0, 2000},
+    {"MinCodeCacheFlushingInterval", 30, 0, 3600},
+    {"InterpreterProfilePercentage", 33, 0, 100},
+    {"ProfileMaturityPercentage", 20, 0, 100}, {"MaxTrivialSize", 6, 0, 100},
+    {"PerMethodRecompilationCutoff", 400, 1, 100000},
+    {"PerBytecodeRecompilationCutoff", 200, 1, 100000},
+    {"PerMethodTrapLimit", 100, 1, 100000},
+    {"PerBytecodeTrapLimit", 4, 1, 1000}, {"TypeProfileWidth", 2, 0, 8},
+    {"BciProfileWidth", 2, 0, 8}, {"TypeProfileArgsLimit", 2, 0, 8},
+    {"TypeProfileMajorReceiverPercent", 90, 0, 100},
+    {"InlineFrequencyCount", 100, 0, 100000}, {"InlineThrowCount", 50, 0, 10000},
+    {"InlineThrowMaxSize", 200, 0, 10000}, {"ValueMapInitialSize", 11, 1, 128},
+    {"ValueMapMaxLoopSize", 8, 0, 64}, {"NestedInliningSizeRatio", 90, 0, 100},
+    {"DesiredMethodLimit", 8000, 100, 100000}, {"LoopOptsCount", 43, 0, 100},
+    {"OptoLoopAlignment", 16, 1, 64}, {"NumberOfLoopInstrToAlign", 4, 0, 100},
+    {"EliminateAllocationArraySizeLimit", 64, 0, 1024},
+    {"ConditionalMoveLimit", 3, 0, 100},
+    {"BlockLayoutMinDiamondPercentage", 20, 0, 100},
+    {"MonitorBound", 0, 0, 100000}, {"SyncFlags", 0, 0, 65536},
+    {"hashCode", 5, 0, 5}, {"DeferThrSuspendLoopCount", 4000, 0, 100000},
+    {"SafepointSpinBeforeYield", 2000, 0, 100000},
+    {"SafepointTimeoutDelay", 10000, 0, 1000000},
+    {"SuspendRetryCount", 50, 0, 10000}, {"SuspendRetryDelay", 5, 0, 1000},
+    {"VMThreadStackSize", 1024, 256, 8192},
+    {"CompilerThreadStackSize", 0, 0, 8192},
+    {"StackYellowPages", 2, 1, 10}, {"StackRedPages", 1, 1, 10},
+    {"StackShadowPages", 20, 1, 100}, {"ThreadPriorityPolicy", 0, 0, 1},
+    {"MaxJavaStackTraceDepth", 1024, 0, 100000},
+    {"PerfDataSamplingInterval", 50, 1, 10000},
+    {"PerfMaxStringConstLength", 1024, 32, 100000},
+    {"UseSSE", 4, 0, 4}, {"UseAVX", 2, 0, 3},
+    {"AllocatePrefetchStyle", 1, 0, 3}, {"AllocatePrefetchDistance", 192, 0, 512},
+    {"AllocatePrefetchLines", 3, 1, 64}, {"AllocatePrefetchStepSize", 64, 1, 512},
+    {"AllocateInstancePrefetchLines", 1, 1, 64},
+    {"ReadPrefetchInstr", 0, 0, 3}, {"AllocatePrefetchInstr", 0, 0, 3},
+    {"InitArrayShortSize", 64, 0, 1024}, {"ArrayCopyLoadStoreMaxElem", 8, 0, 128},
+    {"MaxBCEAEstimateLevel", 5, 0, 100}, {"MaxBCEAEstimateSize", 150, 0, 10000},
+    {"EscapeAnalysisTimeout", 20, 0, 1000},
+    {"DeoptimizeOnlyAt", 0, 0, 1000000}, {"DominatorSearchLimit", 1000, 1, 100000},
+    {"LiveNodeCountInliningCutoff", 40000, 1000, 1000000},
+    {"NodeLimitFudgeFactor", 2000, 100, 100000},
+    {"WorkAroundNPTLTimedWaitHang", 0, 0, 1},
+    {"SharedSymbolTableBucketSize", 4, 1, 100},
+    {"SymbolTableSize", 20011, 1009, 1000003},
+};
+
+// --- Size tail --------------------------------------------------------------
+constexpr SizeEntry kSizeTail[] = {
+    {"MinTLABSize", 2 * kKiB, kKiB, kMiB},
+    {"CompressedClassSpaceSize", kGiB, 16 * kMiB, 3 * kGiB},
+    {"LargePageSizeInBytes", 0, 0, kGiB},
+    {"LargePageHeapSizeThreshold", 128 * kMiB, 0, 4 * kGiB},
+    {"HeapBaseMinAddress", 2 * kGiB, 0, 32 * kGiB},
+    {"ErgoHeapSizeLimit", 0, 0, 32 * kGiB},
+    {"NUMAInterleaveGranularity", 2 * kMiB, 64 * kKiB, 64 * kMiB},
+    {"NUMASpaceResizeRate", kGiB, kMiB, 32 * kGiB},
+    {"BaseFootPrintEstimate", 256 * kMiB, kMiB, 8 * kGiB},
+    {"MinHeapDeltaBytes", 128 * kKiB, 4 * kKiB, 128 * kMiB},
+    {"GCLogFileSize", 0, 0, kGiB},
+    {"CMSScheduleRemarkEdenSizeThreshold", 2 * kMiB, 0, kGiB},
+    {"CMSBitMapYieldQuantum", 10 * kMiB, kMiB, kGiB},
+    {"CMSRevisitStackSize", kMiB, 64 * kKiB, 64 * kMiB},
+    {"G1SATBBufferSize", kKiB, 256, kMiB},
+    {"CodeCacheMinimumFreeSpace", 500 * kKiB, 4 * kKiB, 16 * kMiB},
+    {"CodeCacheExpansionSize", 64 * kKiB, 4 * kKiB, 16 * kMiB},
+    {"MarkStackSize", 4 * kMiB, 32 * kKiB, kGiB},
+    {"MarkStackSizeMax", 512 * kMiB, kMiB, 2 * kGiB},
+    {"PerfDataMemorySize", 32 * kKiB, 4 * kKiB, kMiB},
+    {"SharedReadWriteSize", 12 * kMiB, kMiB, 256 * kMiB},
+    {"SharedReadOnlySize", 16 * kMiB, kMiB, 256 * kMiB},
+    {"SharedMiscDataSize", 2 * kMiB, 64 * kKiB, 64 * kMiB},
+    {"SharedMiscCodeSize", 120 * kKiB, 16 * kKiB, 16 * kMiB},
+    {"StackReservedPages", 0, 0, kMiB},
+    {"MallocMaxTestWords", 0, 0, kGiB},
+    {"TypeProfileLevel", 0, 0, 4 * kKiB},
+    {"JVMInvokeMethodSlack", 10 * kKiB, kKiB, kMiB},
+};
+
+// --- Double tail ------------------------------------------------------------
+constexpr DoubleEntry kDoubleTail[] = {
+    {"CMSSmallCoalSurplusPercent", 1.05, 0.0, 10.0},
+    {"CMSSmallSplitSurplusPercent", 1.10, 0.0, 10.0},
+    {"CMSLargeCoalSurplusPercent", 0.95, 0.0, 10.0},
+    {"CMSLargeSplitSurplusPercent", 1.00, 0.0, 10.0},
+    {"FLSLargestBlockCoalesceProximity", 0.99, 0.0, 1.0},
+    {"G1ConcMarkStepDurationMillis", 10.0, 0.1, 100.0},
+    {"InlineFrequencyRatio", 0.25, 0.0, 1.0},
+    {"MinInlineFrequencyRatio", 0.0085, 0.0, 1.0},
+};
+
+Subsystem tail_subsystem_for(const char* name) {
+  const std::string_view n(name);
+  if (n.starts_with("CMS") || n.starts_with("FLS")) return Subsystem::kGcCms;
+  if (n.starts_with("G1")) return Subsystem::kGcG1;
+  if (n.starts_with("Par") || n.starts_with("PS")) return Subsystem::kGcParallel;
+  if (n.starts_with("Tier") || n.starts_with("CI") || n.find("Inline") != std::string_view::npos ||
+      n.find("Compil") != std::string_view::npos) {
+    return Subsystem::kCompiler;
+  }
+  if (n.starts_with("Print") || n.starts_with("Trace") || n.starts_with("Verify") ||
+      n.starts_with("Log") || n.starts_with("Dump")) {
+    return Subsystem::kDiagnostic;
+  }
+  if (n.find("TLAB") != std::string_view::npos || n.find("Heap") != std::string_view::npos ||
+      n.find("Metaspace") != std::string_view::npos || n.find("RAM") != std::string_view::npos) {
+    return Subsystem::kMemory;
+  }
+  if (n.find("GC") != std::string_view::npos || n.find("Tenur") != std::string_view::npos ||
+      n.find("Survivor") != std::string_view::npos || n.find("PLAB") != std::string_view::npos) {
+    return Subsystem::kGcCommon;
+  }
+  return Subsystem::kRuntime;
+}
+
+}  // namespace
+
+void append_tail_flags(std::vector<FlagSpec>& out) {
+  for (const auto& e : kDiagnosticBools) {
+    add_bool(out, e.name, Subsystem::kDiagnostic, e.def, 0.0,
+             "diagnostic/observability flag (performance-inert in the model)");
+  }
+  for (const auto& e : kRuntimeBools) {
+    add_bool(out, e.name, tail_subsystem_for(e.name), e.def, 0.0,
+             "runtime/platform flag (performance-inert in the model)");
+  }
+  for (const auto& e : kCompilerBools) {
+    add_bool(out, e.name, Subsystem::kCompiler, e.def, 0.0,
+             "compiler detail flag (performance-inert in the model)");
+  }
+  for (const auto& e : kGcBools) {
+    add_bool(out, e.name, tail_subsystem_for(e.name), e.def, 0.0,
+             "GC detail flag (performance-inert in the model)");
+  }
+  for (const auto& e : kIntTail) {
+    add_int(out, e.name, tail_subsystem_for(e.name), e.def, e.lo, e.hi, 0.0,
+            "numeric detail flag (performance-inert in the model)");
+  }
+  for (const auto& e : kSizeTail) {
+    add_size(out, e.name, tail_subsystem_for(e.name), e.def, e.lo, e.hi, 0.0,
+             "size detail flag (performance-inert in the model)");
+  }
+  for (const auto& e : kDoubleTail) {
+    add_double(out, e.name, tail_subsystem_for(e.name), e.def, e.lo, e.hi, 0.0,
+               "fractional detail flag (performance-inert in the model)");
+  }
+}
+
+}  // namespace jat::catalog_detail

@@ -1,0 +1,71 @@
+#include "flags/flag_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jat {
+
+const char* to_string(Subsystem subsystem) {
+  switch (subsystem) {
+    case Subsystem::kMemory: return "memory";
+    case Subsystem::kGcCommon: return "gc.common";
+    case Subsystem::kGcSerial: return "gc.serial";
+    case Subsystem::kGcParallel: return "gc.parallel";
+    case Subsystem::kGcCms: return "gc.cms";
+    case Subsystem::kGcG1: return "gc.g1";
+    case Subsystem::kCompiler: return "compiler";
+    case Subsystem::kCompilerC1: return "compiler.c1";
+    case Subsystem::kCompilerC2: return "compiler.c2";
+    case Subsystem::kRuntime: return "runtime";
+    case Subsystem::kClassload: return "classload";
+    case Subsystem::kDiagnostic: return "diagnostic";
+  }
+  return "?";
+}
+
+bool FlagSpec::in_domain(const FlagValue& value) const {
+  switch (type) {
+    case FlagType::kBool:
+      return value.is_bool();
+    case FlagType::kInt:
+    case FlagType::kSize: {
+      if (!value.is_int()) return false;
+      const std::int64_t v = value.as_int();
+      return v >= int_domain.lo && v <= int_domain.hi;
+    }
+    case FlagType::kDouble: {
+      if (!value.is_double()) return false;
+      const double v = value.as_double();
+      return v >= double_domain.lo && v <= double_domain.hi;
+    }
+    case FlagType::kEnum: {
+      if (!value.is_string()) return false;
+      return std::find(choices.begin(), choices.end(), value.as_string()) !=
+             choices.end();
+    }
+  }
+  return false;
+}
+
+double FlagSpec::domain_cardinality() const {
+  switch (type) {
+    case FlagType::kBool:
+      return 2.0;
+    case FlagType::kInt:
+    case FlagType::kSize: {
+      const std::int64_t step = std::max<std::int64_t>(1, int_domain.step);
+      const double values =
+          static_cast<double>(int_domain.hi - int_domain.lo) /
+              static_cast<double>(step) + 1.0;
+      return std::min(values, 1048576.0);
+    }
+    case FlagType::kDouble:
+      // Continuous; report the effective resolution samplers use.
+      return 1000.0;
+    case FlagType::kEnum:
+      return static_cast<double>(std::max<std::size_t>(1, choices.size()));
+  }
+  return 1.0;
+}
+
+}  // namespace jat

@@ -1,0 +1,70 @@
+// Static description of a single tunable JVM flag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flags/flag_value.hpp"
+
+namespace jat {
+
+/// Which JVM subsystem a flag belongs to. Drives the flag hierarchy and the
+/// per-subsystem statistics in Table T1.
+enum class Subsystem {
+  kMemory,     ///< heap / generation / metaspace sizing
+  kGcCommon,   ///< collector-independent GC behaviour
+  kGcSerial,
+  kGcParallel,
+  kGcCms,      ///< ParNew + concurrent-mark-sweep
+  kGcG1,
+  kCompiler,   ///< JIT common (thresholds, compiler threads, code cache)
+  kCompilerC1,
+  kCompilerC2,
+  kRuntime,    ///< locking, safepoints, interpreter, stack sizes
+  kClassload,
+  kDiagnostic, ///< printing / tracing flags: tunable but performance-inert
+};
+
+const char* to_string(Subsystem subsystem);
+
+/// Inclusive integer domain. When log_scale is set, samplers and mutators
+/// move multiplicatively (heap sizes, thresholds); otherwise linearly
+/// (percentages, small counts). `step` quantises values (e.g. page-sized
+/// heap increments).
+struct IntDomain {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  bool log_scale = false;
+  std::int64_t step = 1;
+};
+
+struct DoubleDomain {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Immutable description of one flag: its type, domain, default, and how
+/// strongly it influences the simulated JVM (impact 0 = inert long-tail
+/// flag; the real HotSpot has hundreds of these and the paper's hierarchy
+/// exists partly to avoid wasting tuning budget on them).
+struct FlagSpec {
+  std::string name;
+  FlagType type = FlagType::kBool;
+  Subsystem subsystem = Subsystem::kRuntime;
+  FlagValue default_value;
+  IntDomain int_domain;        ///< valid for kInt / kSize
+  DoubleDomain double_domain;  ///< valid for kDouble
+  std::vector<std::string> choices;  ///< valid for kEnum
+  double impact = 0.0;         ///< [0,1]; >0 means the simulator reads it
+  std::string description;
+
+  /// True when a value lies inside this spec's domain (type must match).
+  bool in_domain(const FlagValue& value) const;
+
+  /// Number of distinct values a sampler can pick (clamped to 2^20 for
+  /// wide integer ranges; used only for search-space-size reporting).
+  double domain_cardinality() const;
+};
+
+}  // namespace jat

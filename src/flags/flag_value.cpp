@@ -1,0 +1,66 @@
+#include "flags/flag_value.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace jat {
+
+const char* to_string(FlagType type) {
+  switch (type) {
+    case FlagType::kBool: return "bool";
+    case FlagType::kInt: return "int";
+    case FlagType::kSize: return "size";
+    case FlagType::kDouble: return "double";
+    case FlagType::kEnum: return "enum";
+  }
+  return "?";
+}
+
+bool FlagValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  throw FlagError("FlagValue: not a bool");
+}
+
+std::int64_t FlagValue::as_int() const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) return *i;
+  throw FlagError("FlagValue: not an int");
+}
+
+double FlagValue::as_double() const {
+  if (const double* d = std::get_if<double>(&value_)) return *d;
+  // Permit reading an int flag as double; thresholds are often compared
+  // against fractional derived quantities in the simulator.
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  throw FlagError("FlagValue: not a double");
+}
+
+const std::string& FlagValue::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  throw FlagError("FlagValue: not a string");
+}
+
+std::string FlagValue::render(bool as_size) const {
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int()) {
+    return as_size ? format_bytes(as_int()) : std::to_string(as_int());
+  }
+  if (is_double()) {
+    // Shortest representation that parses back to the same value, so
+    // render -> parse round-trips exactly.
+    const double v = std::get<double>(value_);
+    char buf[64];
+    for (int precision = 6; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+      if (std::strtod(buf, nullptr) == v) break;
+    }
+    return buf;
+  }
+  return as_string();
+}
+
+}  // namespace jat

@@ -1,0 +1,54 @@
+// Typed values for HotSpot-style -XX flags.
+//
+// HotSpot flags are booleans (-XX:+UseG1GC), integers/sizes
+// (-XX:MaxHeapSize=512m), doubles, or enumerated strings. FlagValue is the
+// closed sum of those; FlagType tags what a FlagSpec accepts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace jat {
+
+enum class FlagType {
+  kBool,    ///< -XX:+Name / -XX:-Name
+  kInt,     ///< plain integer (counts, thresholds, percentages)
+  kSize,    ///< byte size; rendered with k/m/g suffix
+  kDouble,  ///< fractional value
+  kEnum,    ///< one of a fixed set of strings
+};
+
+const char* to_string(FlagType type);
+
+/// The value a flag currently holds. kSize shares the int64 alternative
+/// with kInt; kEnum holds the chosen string.
+class FlagValue {
+ public:
+  FlagValue() : value_(false) {}
+  explicit FlagValue(bool b) : value_(b) {}
+  explicit FlagValue(std::int64_t i) : value_(i) {}
+  explicit FlagValue(double d) : value_(d) {}
+  explicit FlagValue(std::string s) : value_(std::move(s)) {}
+
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+
+  /// Typed accessors; throw jat::FlagError when the alternative mismatches.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  /// Renders the bare value ("true", "42", "512m" when size=true, "G1").
+  std::string render(bool as_size = false) const;
+
+  friend bool operator==(const FlagValue&, const FlagValue&) = default;
+
+ private:
+  std::variant<bool, std::int64_t, double, std::string> value_;
+};
+
+}  // namespace jat

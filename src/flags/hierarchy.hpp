@@ -1,0 +1,98 @@
+// The paper's flag hierarchy.
+//
+// HotSpot's 600+ flags are organised into a tree whose inner nodes carry
+// *gates*: predicates over the current configuration that say whether the
+// node's subtree is meaningful. Choosing CMS activates the CMS subtree and
+// deactivates the G1/Parallel ones; disabling tiered compilation
+// deactivates the C1 subtree; running -Xint deactivates the whole compiler
+// branch. Tuners built on the hierarchy only mutate flags on active paths,
+// which (a) never produces configurations that depend on inert flags and
+// (b) shrinks the searched space by orders of magnitude — the paper's core
+// device for making whole-JVM tuning tractable.
+//
+// Structural choices (which collector, tiered or not, -server/-client,
+// -Xmixed/-Xint/-Xcomp) are modelled as StructuralGroups: named sets of
+// mutually-exclusive multi-flag assignments that the hierarchical tuner
+// explores first, before descending into the subtrees they activate.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flags/configuration.hpp"
+#include "flags/registry.hpp"
+
+namespace jat {
+
+/// One consistent multi-flag assignment, e.g. "cms" =
+/// {UseConcMarkSweepGC=true, UseParNewGC=true, UseParallelGC=false, ...}.
+struct StructuralOption {
+  std::string name;
+  std::vector<std::pair<FlagId, FlagValue>> assignments;
+};
+
+/// A set of mutually exclusive structural options (exactly one is in force).
+struct StructuralGroup {
+  std::string name;
+  std::vector<StructuralOption> options;
+
+  /// Index of the option whose assignments all hold in `config`, or -1.
+  int current_option(const Configuration& config) const;
+
+  /// Applies option `index`'s assignments to `config`.
+  void apply(Configuration& config, std::size_t index) const;
+};
+
+/// A tree node: a named group of flags plus an activation gate.
+struct HierarchyNode {
+  std::string name;
+  /// Active iff the gate holds (empty gate = always active). Gates read
+  /// only structural flags, so activation is stable while tuning a subtree.
+  std::function<bool(const Configuration&)> gate;
+  std::vector<FlagId> flags;
+  std::vector<HierarchyNode> children;
+};
+
+class FlagHierarchy {
+ public:
+  /// Builds a hierarchy over `registry`; every flag must appear in exactly
+  /// one node, and structural flags must not appear in any node (they are
+  /// tuned through their groups). Throws FlagError otherwise.
+  FlagHierarchy(const FlagRegistry& registry, HierarchyNode root,
+                std::vector<StructuralGroup> groups);
+
+  /// The standard HotSpot hierarchy over FlagRegistry::hotspot().
+  static const FlagHierarchy& hotspot();
+
+  const FlagRegistry& registry() const { return *registry_; }
+  const HierarchyNode& root() const { return root_; }
+  const std::vector<StructuralGroup>& groups() const { return groups_; }
+
+  /// Every flag referenced by some structural option.
+  const std::vector<FlagId>& structural_flags() const { return structural_flags_; }
+
+  /// Flags of all nodes whose root-path gates hold under `config`
+  /// (structural flags excluded), ascending by id.
+  std::vector<FlagId> active_flags(const Configuration& config) const;
+
+  /// Names of active nodes under `config` (preorder).
+  std::vector<std::string> active_nodes(const Configuration& config) const;
+
+  /// log10 of the searched-space size under `config`: the product of the
+  /// structural combination count and the active flags' domains.
+  double log10_active_space(const Configuration& config) const;
+
+  /// Number of distinct structural combinations (product of group sizes).
+  std::size_t structural_combinations() const;
+
+ private:
+  void verify_coverage() const;
+
+  const FlagRegistry* registry_;
+  HierarchyNode root_;
+  std::vector<StructuralGroup> groups_;
+  std::vector<FlagId> structural_flags_;
+};
+
+}  // namespace jat

@@ -1,0 +1,188 @@
+#include "flags/parse.hpp"
+
+#include <cctype>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace jat {
+
+namespace {
+
+bool is_integer_text(std::string_view text) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+void apply_assignment(Configuration& config, std::string_view name,
+                      std::string_view value) {
+  const FlagRegistry& registry = config.registry();
+  const FlagId id = registry.require(name);
+  const FlagSpec& spec = registry.spec(id);
+  const std::string value_str(value);
+  switch (spec.type) {
+    case FlagType::kBool:
+      if (value == "true" || value == "1") {
+        config.set(id, FlagValue(true));
+      } else if (value == "false" || value == "0") {
+        config.set(id, FlagValue(false));
+      } else {
+        throw FlagError("bad boolean value '" + value_str + "' for " + spec.name);
+      }
+      return;
+    case FlagType::kInt:
+      if (!is_integer_text(value)) {
+        throw FlagError("bad integer value '" + value_str + "' for " + spec.name);
+      }
+      config.set(id, FlagValue(static_cast<std::int64_t>(std::stoll(value_str))));
+      return;
+    case FlagType::kSize:
+      config.set(id, FlagValue(parse_bytes(value)));
+      return;
+    case FlagType::kDouble:
+      try {
+        config.set(id, FlagValue(std::stod(value_str)));
+      } catch (const std::logic_error&) {
+        throw FlagError("bad double value '" + value_str + "' for " + spec.name);
+      }
+      return;
+    case FlagType::kEnum:
+      config.set(id, FlagValue(value_str));
+      return;
+  }
+}
+
+/// Launcher aliases that predate the -XX syntax.
+bool apply_alias(Configuration& config, std::string_view token) {
+  if (token == "-server" || token == "-client") {
+    config.set_enum("VMMode", std::string(token.substr(1)));
+    return true;
+  }
+  if (token == "-Xmixed" || token == "-Xint" || token == "-Xcomp") {
+    config.set_enum("ExecutionMode", std::string(token.substr(2)));
+    return true;
+  }
+  if (token == "-Xbatch") {
+    config.set_bool("BackgroundCompilation", false);
+    return true;
+  }
+  if (token.starts_with("-Xmx")) {
+    config.set_int("MaxHeapSize", parse_bytes(token.substr(4)));
+    return true;
+  }
+  if (token.starts_with("-Xms")) {
+    config.set_int("InitialHeapSize", parse_bytes(token.substr(4)));
+    return true;
+  }
+  if (token.starts_with("-Xmn")) {
+    const std::int64_t young = parse_bytes(token.substr(4));
+    config.set_int("NewSize", young);
+    config.set_int("MaxNewSize", young);
+    return true;
+  }
+  if (token.starts_with("-Xss")) {
+    // ThreadStackSize is in KiB.
+    config.set_int("ThreadStackSize", parse_bytes(token.substr(4)) / 1024);
+    return true;
+  }
+  if (token == "-Xverify:none") {
+    config.set_bool("BytecodeVerificationRemote", false);
+    config.set_bool("BytecodeVerificationLocal", false);
+    return true;
+  }
+  if (token == "-Xshare:off") {
+    config.set_bool("UseSharedSpaces", false);
+    return true;
+  }
+  if (token == "-Xshare:on" || token == "-Xshare:auto") {
+    config.set_bool("UseSharedSpaces", true);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void apply_option(Configuration& config, std::string_view token) {
+  if (token.empty()) return;
+  if (apply_alias(config, token)) return;
+  if (!token.starts_with("-XX:")) {
+    throw FlagError("unrecognised option '" + std::string(token) + "'");
+  }
+  const std::string_view body = token.substr(4);
+  if (body.empty()) throw FlagError("empty -XX: option");
+  if (body[0] == '+' || body[0] == '-') {
+    const std::string_view name = body.substr(1);
+    const FlagId id = config.registry().require(name);
+    if (config.registry().spec(id).type != FlagType::kBool) {
+      throw FlagError("+/- syntax on non-boolean flag " + std::string(name));
+    }
+    config.set(id, FlagValue(body[0] == '+'));
+    return;
+  }
+  const std::size_t eq = body.find('=');
+  if (eq == std::string_view::npos) {
+    throw FlagError("missing '=' in option '" + std::string(token) + "'");
+  }
+  apply_assignment(config, body.substr(0, eq), body.substr(eq + 1));
+}
+
+std::vector<std::string> tokenize_command_line(std::string_view command_line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < command_line.size()) {
+    while (i < command_line.size() &&
+           std::isspace(static_cast<unsigned char>(command_line[i]))) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < command_line.size() &&
+           !std::isspace(static_cast<unsigned char>(command_line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(command_line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Configuration parse_command_line(const FlagRegistry& registry,
+                                 std::string_view command_line) {
+  Configuration config(registry);
+  for (const std::string& token : tokenize_command_line(command_line)) {
+    apply_option(config, token);
+  }
+  return config;
+}
+
+Configuration load_configuration(const FlagRegistry& registry,
+                                 const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open configuration file: " + path);
+  Configuration config(registry);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    for (const std::string& token : tokenize_command_line(line)) {
+      apply_option(config, token);
+    }
+  }
+  return config;
+}
+
+bool save_configuration(const Configuration& config, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# jat tuned JVM configuration (" << config.changed_flags().size()
+      << " non-default flags)\n";
+  for (FlagId id : config.changed_flags()) {
+    out << config.render_flag(id) << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace jat

@@ -1,0 +1,40 @@
+// Parsing HotSpot-style command lines back into Configurations.
+//
+// Inverse of Configuration::render_command_line: accepts the -XX syntax
+// (-XX:+Flag, -XX:-Flag, -XX:Name=value) plus the classic launcher aliases
+// the paper's tuner also controlled (-server/-client, -Xmixed/-Xint/-Xcomp,
+// -Xmx/-Xms/-Xmn/-Xss). This is what lets tuned configurations round-trip
+// through files and shells.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flags/configuration.hpp"
+
+namespace jat {
+
+/// Applies one option token to the configuration.
+/// Throws FlagError on unknown flags, malformed tokens, or out-of-domain
+/// values.
+void apply_option(Configuration& config, std::string_view token);
+
+/// Parses a whitespace-separated command-line fragment on top of the
+/// registry defaults.
+Configuration parse_command_line(const FlagRegistry& registry,
+                                 std::string_view command_line);
+
+/// Splits a command-line fragment into tokens (whitespace-separated).
+std::vector<std::string> tokenize_command_line(std::string_view command_line);
+
+/// Reads a configuration from a file: one option per line, '#' comments
+/// and blank lines ignored. Throws FlagError (parse) or Error (IO).
+Configuration load_configuration(const FlagRegistry& registry,
+                                 const std::string& path);
+
+/// Writes the non-default flags, one per line, with a header comment.
+/// Returns false on IO error.
+bool save_configuration(const Configuration& config, const std::string& path);
+
+}  // namespace jat

@@ -1,0 +1,157 @@
+#include "flags/validate.hpp"
+
+namespace jat {
+
+namespace {
+
+bool has_flag(const Configuration& c, const char* name) {
+  return c.registry().find(name) != kInvalidFlag;
+}
+
+bool flag_true(const Configuration& c, const char* name) {
+  return has_flag(c, name) && c.get_bool(name);
+}
+
+std::int64_t int_or(const Configuration& c, const char* name, std::int64_t fallback) {
+  return has_flag(c, name) ? c.get_int(name) : fallback;
+}
+
+void check_collectors(const Configuration& c, std::vector<Violation>& out) {
+  const bool serial = flag_true(c, "UseSerialGC");
+  const bool parallel = flag_true(c, "UseParallelGC");
+  const bool cms = flag_true(c, "UseConcMarkSweepGC");
+  const bool g1 = flag_true(c, "UseG1GC");
+  const int primaries = (serial ? 1 : 0) + (parallel ? 1 : 0) + (cms ? 1 : 0) +
+                        (g1 ? 1 : 0);
+  if (primaries > 1) {
+    out.push_back({"UseSerialGC",
+                   "conflicting collector combinations: more than one of "
+                   "UseSerialGC/UseParallelGC/UseConcMarkSweepGC/UseG1GC",
+                   Severity::kFatal});
+  }
+  if (primaries == 0) {
+    out.push_back({"UseParallelGC",
+                   "no collector selected; VM would pick one ergonomically",
+                   Severity::kWarning});
+  }
+  if (flag_true(c, "UseParNewGC") && !cms) {
+    out.push_back({"UseParNewGC",
+                   "UseParNewGC requires UseConcMarkSweepGC",
+                   Severity::kFatal});
+  }
+  if (flag_true(c, "UseParallelOldGC") && !parallel) {
+    out.push_back({"UseParallelOldGC",
+                   "UseParallelOldGC has no effect without UseParallelGC",
+                   Severity::kWarning});
+  }
+}
+
+void check_heap(const Configuration& c, std::vector<Violation>& out) {
+  const std::int64_t initial = int_or(c, "InitialHeapSize", 0);
+  const std::int64_t max = int_or(c, "MaxHeapSize", 0);
+  if (initial > 0 && max > 0 && initial > max) {
+    out.push_back({"InitialHeapSize",
+                   "initial heap size larger than the maximum heap size",
+                   Severity::kFatal});
+  }
+  const std::int64_t new_size = int_or(c, "NewSize", 0);
+  const std::int64_t max_new = int_or(c, "MaxNewSize", 0);
+  if (max_new > 0 && new_size > max_new) {
+    out.push_back({"NewSize",
+                   "NewSize exceeds MaxNewSize; VM raises MaxNewSize",
+                   Severity::kWarning});
+  }
+  if (max > 0 && new_size > max) {
+    out.push_back({"NewSize",
+                   "young generation larger than the whole heap",
+                   Severity::kFatal});
+  }
+  const std::int64_t min_free = int_or(c, "MinHeapFreeRatio", 40);
+  const std::int64_t max_free = int_or(c, "MaxHeapFreeRatio", 70);
+  if (min_free > max_free) {
+    out.push_back({"MinHeapFreeRatio",
+                   "MinHeapFreeRatio exceeds MaxHeapFreeRatio",
+                   Severity::kFatal});
+  }
+  const std::int64_t init_tenure = int_or(c, "InitialTenuringThreshold", 7);
+  const std::int64_t max_tenure = int_or(c, "MaxTenuringThreshold", 15);
+  if (init_tenure > max_tenure) {
+    out.push_back({"InitialTenuringThreshold",
+                   "InitialTenuringThreshold exceeds MaxTenuringThreshold",
+                   Severity::kFatal});
+  }
+  if (has_flag(c, "MetaspaceSize") && has_flag(c, "MaxMetaspaceSize") &&
+      c.get_int("MetaspaceSize") > c.get_int("MaxMetaspaceSize")) {
+    out.push_back({"MetaspaceSize",
+                   "MetaspaceSize exceeds MaxMetaspaceSize; VM clamps it",
+                   Severity::kWarning});
+  }
+}
+
+void check_g1(const Configuration& c, std::vector<Violation>& out) {
+  if (!has_flag(c, "G1HeapRegionSize")) return;
+  const std::int64_t region = c.get_int("G1HeapRegionSize");
+  if (region != 0 && (region & (region - 1)) != 0) {
+    out.push_back({"G1HeapRegionSize",
+                   "G1HeapRegionSize must be a power of two",
+                   Severity::kFatal});
+  }
+  if (has_flag(c, "G1NewSizePercent") && has_flag(c, "G1MaxNewSizePercent") &&
+      c.get_int("G1NewSizePercent") > c.get_int("G1MaxNewSizePercent")) {
+    out.push_back({"G1NewSizePercent",
+                   "G1NewSizePercent exceeds G1MaxNewSizePercent",
+                   Severity::kFatal});
+  }
+}
+
+void check_cms(const Configuration& c, std::vector<Violation>& out) {
+  if (has_flag(c, "CMSPrecleanNumerator") && has_flag(c, "CMSPrecleanDenominator") &&
+      c.get_int("CMSPrecleanNumerator") >= c.get_int("CMSPrecleanDenominator")) {
+    out.push_back({"CMSPrecleanNumerator",
+                   "CMSPrecleanNumerator must be less than CMSPrecleanDenominator",
+                   Severity::kFatal});
+  }
+}
+
+void check_compiler(const Configuration& c, std::vector<Violation>& out) {
+  if (has_flag(c, "InitialCodeCacheSize") && has_flag(c, "ReservedCodeCacheSize") &&
+      c.get_int("InitialCodeCacheSize") > c.get_int("ReservedCodeCacheSize")) {
+    out.push_back({"InitialCodeCacheSize",
+                   "initial code cache larger than the reserved code cache",
+                   Severity::kFatal});
+  }
+  if (has_flag(c, "TieredStopAtLevel") && has_flag(c, "TieredCompilation") &&
+      !c.get_bool("TieredCompilation") && c.get_int("TieredStopAtLevel") != 4) {
+    out.push_back({"TieredStopAtLevel",
+                   "TieredStopAtLevel has no effect without TieredCompilation",
+                   Severity::kWarning});
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> validate(const Configuration& config) {
+  std::vector<Violation> out;
+  check_collectors(config, out);
+  check_heap(config, out);
+  check_g1(config, out);
+  check_cms(config, out);
+  check_compiler(config, out);
+  return out;
+}
+
+bool is_startable(const Configuration& config) {
+  for (const auto& v : validate(config)) {
+    if (v.severity == Severity::kFatal) return false;
+  }
+  return true;
+}
+
+std::string first_fatal(const Configuration& config) {
+  for (const auto& v : validate(config)) {
+    if (v.severity == Severity::kFatal) return v.message;
+  }
+  return "";
+}
+
+}  // namespace jat

@@ -1,0 +1,38 @@
+// Cross-flag semantic validation.
+//
+// Per-flag domains are enforced by Configuration::set; this checks the
+// *interactions* a real HotSpot enforces at startup: conflicting collector
+// combinations, inverted heap bounds, inconsistent thresholds. Fatal
+// violations model "Error occurred during initialization of VM" — the
+// harness turns them into crashed runs so flat searches that generate such
+// configurations burn tuning budget, exactly as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flags/configuration.hpp"
+
+namespace jat {
+
+enum class Severity {
+  kWarning,  ///< the VM adjusts/ignores the setting and starts anyway
+  kFatal,    ///< the VM refuses to start
+};
+
+struct Violation {
+  std::string flag;     ///< primary offending flag
+  std::string message;  ///< human-readable diagnosis
+  Severity severity = Severity::kWarning;
+};
+
+/// All violations in the configuration (empty when fully consistent).
+std::vector<Violation> validate(const Configuration& config);
+
+/// True when the configuration has no fatal violations (the JVM starts).
+bool is_startable(const Configuration& config);
+
+/// Convenience: the first fatal violation's message, or "" when startable.
+std::string first_fatal(const Configuration& config);
+
+}  // namespace jat

@@ -1,0 +1,43 @@
+// Tuning-time budget accounting.
+//
+// The paper gives each benchmark a fixed wall-clock tuning budget
+// (200 minutes). We charge simulated time instead: every candidate run
+// costs its simulated duration plus a fixed harness overhead (JVM spawn,
+// result collection), so "improvement vs tuning time" curves have the
+// paper's semantics without wall-clock hours. Thread-safe: parallel
+// evaluators charge concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/sim_time.hpp"
+
+namespace jat {
+
+class BudgetClock {
+ public:
+  explicit BudgetClock(SimTime total) : total_(total) {}
+
+  SimTime total() const { return total_; }
+  SimTime spent() const {
+    return SimTime::micros(spent_us_.load(std::memory_order_relaxed));
+  }
+  SimTime remaining() const {
+    const SimTime s = spent();
+    return s >= total_ ? SimTime::zero() : total_ - s;
+  }
+  bool exhausted() const { return spent() >= total_; }
+
+  /// Charges a cost; the clock may overshoot on the run in flight when it
+  /// expires (like a real harness finishing its last measurement).
+  void charge(SimTime cost) {
+    spent_us_.fetch_add(cost.as_micros(), std::memory_order_relaxed);
+  }
+
+ private:
+  SimTime total_;
+  std::atomic<std::int64_t> spent_us_{0};
+};
+
+}  // namespace jat

@@ -1,0 +1,26 @@
+// The evaluation interface tuners search against.
+//
+// A tuner only needs "measure this configuration, charge that budget";
+// everything else (simulator vs real JVM, one workload vs a whole suite)
+// is the evaluator's business. BenchmarkRunner measures one workload;
+// SuiteRunner (tuner/suite_session.hpp) aggregates a set of workloads into
+// a single objective for "general configuration" tuning.
+#pragma once
+
+#include "flags/configuration.hpp"
+#include "harness/budget.hpp"
+#include "harness/measurement.hpp"
+
+namespace jat {
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Measures a configuration, charging `budget` (when given) for the
+  /// simulated time actually consumed. Must be thread-safe.
+  virtual Measurement measure(const Configuration& config,
+                              BudgetClock* budget) = 0;
+};
+
+}  // namespace jat

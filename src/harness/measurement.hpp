@@ -1,0 +1,33 @@
+// One measured candidate: repeated runs of a configuration on a workload.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/statistics.hpp"
+
+namespace jat {
+
+struct Measurement {
+  std::uint64_t config_fingerprint = 0;
+  std::vector<double> times_ms;  ///< per-repetition total run time
+  bool crashed = false;
+  std::string crash_reason;
+  SampleSummary summary;  ///< over times_ms (valid when !crashed)
+
+  /// The tuning objective: mean run time in ms, lower is better. Crashed
+  /// configurations are infinitely bad, like a failed run in the paper's
+  /// harness.
+  double objective() const {
+    if (crashed || times_ms.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return summary.mean;
+  }
+
+  bool valid() const { return !crashed && !times_ms.empty(); }
+};
+
+}  // namespace jat

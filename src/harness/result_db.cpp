@@ -1,0 +1,84 @@
+#include "harness/result_db.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+namespace jat {
+
+std::int64_t ResultDb::record(std::uint64_t fingerprint, double objective_ms,
+                              SimTime budget_spent, std::string command_line,
+                              std::string phase) {
+  std::lock_guard lock(mutex_);
+  EvalRecord rec;
+  rec.index = static_cast<std::int64_t>(records_.size());
+  rec.fingerprint = fingerprint;
+  rec.objective_ms = objective_ms;
+  rec.budget_spent = budget_spent;
+  rec.command_line = std::move(command_line);
+  rec.phase = std::move(phase);
+  records_.push_back(std::move(rec));
+  return records_.back().index;
+}
+
+std::size_t ResultDb::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+EvalRecord ResultDb::get(std::size_t index) const {
+  std::lock_guard lock(mutex_);
+  return records_.at(index);
+}
+
+std::vector<EvalRecord> ResultDb::all() const {
+  std::lock_guard lock(mutex_);
+  return records_;
+}
+
+double ResultDb::best_objective() const {
+  std::lock_guard lock(mutex_);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& rec : records_) best = std::min(best, rec.objective_ms);
+  return best;
+}
+
+std::vector<std::pair<SimTime, double>> ResultDb::best_trajectory() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<SimTime, double>> out;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& rec : records_) {
+    if (rec.objective_ms < best) {
+      best = rec.objective_ms;
+      out.emplace_back(rec.budget_spent, best);
+    }
+  }
+  return out;
+}
+
+double ResultDb::best_at(SimTime budget_position) const {
+  const auto trajectory = best_trajectory();
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [at, objective] : trajectory) {
+    if (at <= budget_position) {
+      best = objective;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+bool ResultDb::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "index,fingerprint,objective_ms,budget_spent_s,phase,command_line\n";
+  for (const auto& rec : all()) {
+    out << rec.index << ',' << rec.fingerprint << ',' << rec.objective_ms << ','
+        << rec.budget_spent.as_seconds() << ',' << rec.phase << ",\""
+        << rec.command_line << "\"\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace jat

@@ -1,0 +1,55 @@
+// Evaluation log: every candidate a tuning session tried, in order, with
+// the budget position it was recorded at. Provides the best-so-far
+// trajectory behind the paper's improvement-vs-tuning-time curves and CSV
+// export for the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/sim_time.hpp"
+
+namespace jat {
+
+struct EvalRecord {
+  std::int64_t index = 0;            ///< arrival order
+  std::uint64_t fingerprint = 0;
+  double objective_ms = 0;           ///< +inf for crashes
+  SimTime budget_spent;              ///< budget position when recorded
+  std::string command_line;          ///< non-default flags
+  std::string phase;                 ///< tuner-defined label ("structural", ...)
+};
+
+class ResultDb {
+ public:
+  /// Appends a record (thread-safe); returns its index.
+  std::int64_t record(std::uint64_t fingerprint, double objective_ms,
+                      SimTime budget_spent, std::string command_line,
+                      std::string phase = "");
+
+  std::size_t size() const;
+  EvalRecord get(std::size_t index) const;
+  std::vector<EvalRecord> all() const;
+
+  /// Best (lowest finite) objective so far, +inf if none.
+  double best_objective() const;
+
+  /// The best-so-far staircase: (budget position, incumbent objective) at
+  /// every point where the incumbent improved.
+  std::vector<std::pair<SimTime, double>> best_trajectory() const;
+
+  /// Incumbent objective at a given budget position (staircase lookup);
+  /// +inf before the first finite result.
+  double best_at(SimTime budget_position) const;
+
+  /// Writes all records as CSV ("index,fingerprint,objective_ms,...").
+  bool save_csv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<EvalRecord> records_;
+};
+
+}  // namespace jat

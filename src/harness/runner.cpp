@@ -1,0 +1,89 @@
+#include "harness/runner.hpp"
+
+#include "support/rng.hpp"
+
+namespace jat {
+
+namespace {
+/// Nominal cost of a result-database lookup; charged on cache hits so a
+/// tuner that keeps proposing known configurations still drains its budget.
+constexpr double kCacheHitOverheadSeconds = 0.05;
+}  // namespace
+
+BenchmarkRunner::BenchmarkRunner(const JvmSimulator& simulator,
+                                 WorkloadSpec workload, RunnerOptions options)
+    : simulator_(&simulator), workload_(std::move(workload)), options_(options) {}
+
+Measurement BenchmarkRunner::measure(const Configuration& config,
+                                     BudgetClock* budget) {
+  const std::uint64_t fingerprint = config.fingerprint();
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(fingerprint);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      if (budget != nullptr) {
+        budget->charge(SimTime::seconds(kCacheHitOverheadSeconds));
+      }
+      return it->second;
+    }
+  }
+
+  Measurement measurement = measure_uncached(config, budget);
+  {
+    std::lock_guard lock(mutex_);
+    cache_.emplace(fingerprint, measurement);
+  }
+  return measurement;
+}
+
+Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
+                                              BudgetClock* budget) {
+  Measurement m;
+  m.config_fingerprint = config.fingerprint();
+  m.times_ms.reserve(static_cast<std::size_t>(options_.repetitions));
+
+  for (int rep = 0; rep < options_.repetitions; ++rep) {
+    const std::uint64_t seed =
+        mix64(options_.seed, mix64(m.config_fingerprint, static_cast<std::uint64_t>(rep)));
+    RunResult run = simulator_->run(config, workload_, seed);
+    {
+      std::lock_guard lock(mutex_);
+      ++runs_executed_;
+    }
+    if (!run.crashed && run.total_time > time_limit_) {
+      run.crashed = true;
+      run.crash_reason = "harness timeout";
+      run.total_time = time_limit_;
+    }
+    if (budget != nullptr) {
+      budget->charge(run.total_time +
+                     SimTime::seconds(options_.per_run_overhead_s));
+    }
+    if (run.crashed) {
+      m.crashed = true;
+      m.crash_reason = run.crash_reason;
+      if (options_.fail_fast) break;
+      continue;
+    }
+    m.times_ms.push_back(run.total_time.as_millis());
+
+    // Racing: abandon clear losers after their first repetition.
+    if (rep == 0 && options_.racing_factor > 0.0) {
+      const double first = run.total_time.as_millis();
+      std::lock_guard lock(mutex_);
+      if (best_first_rep_ms_ > 0.0 &&
+          first > best_first_rep_ms_ * options_.racing_factor) {
+        break;
+      }
+      if (best_first_rep_ms_ == 0.0 || first < best_first_rep_ms_) {
+        best_first_rep_ms_ = first;
+      }
+    }
+  }
+  if (!m.times_ms.empty()) m.summary = summarize(m.times_ms);
+  if (m.times_ms.empty()) m.crashed = true;
+  return m;
+}
+
+}  // namespace jat

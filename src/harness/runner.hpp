@@ -1,0 +1,78 @@
+// Benchmark runner: measures configurations with repetitions, charges the
+// tuning budget, and caches by configuration fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "flags/configuration.hpp"
+#include "harness/budget.hpp"
+#include "harness/evaluator.hpp"
+#include "harness/measurement.hpp"
+#include "jvmsim/engine.hpp"
+#include "workloads/workload.hpp"
+
+namespace jat {
+
+struct RunnerOptions {
+  /// Timed repetitions per candidate (the paper repeats runs to beat noise).
+  int repetitions = 3;
+  /// Base seed; repetition i of a configuration uses a seed derived from
+  /// (base, fingerprint, i), so re-measuring is bit-identical.
+  std::uint64_t seed = 2015;
+  /// Fixed per-run harness overhead charged to the budget (process spawn,
+  /// result parsing). Simulated seconds.
+  double per_run_overhead_s = 2.0;
+  /// Stop repeating a crashed configuration after the first failure.
+  bool fail_fast = true;
+  /// Racing (adaptive repetitions): when > 0, a candidate whose *first*
+  /// repetition is more than `racing_factor` times the best first
+  /// repetition seen so far is abandoned with a single-sample measurement.
+  /// Clearly-losing candidates then cost one run instead of `repetitions`,
+  /// at the price of a noisier (but still honest) objective for them.
+  /// 0 disables racing.
+  double racing_factor = 0.0;
+};
+
+class BenchmarkRunner : public Evaluator {
+ public:
+  BenchmarkRunner(const JvmSimulator& simulator, WorkloadSpec workload,
+                  RunnerOptions options = {});
+
+  const WorkloadSpec& workload() const { return workload_; }
+  const RunnerOptions& runner_options() const { return options_; }
+
+  /// Measures a configuration. Charges `budget` (when given) for every run
+  /// actually executed; cache hits are nearly free, as a real tuner's
+  /// result database would make them. Thread-safe.
+  Measurement measure(const Configuration& config,
+                      BudgetClock* budget = nullptr) override;
+
+  /// Abandons runs whose simulated time exceeds `limit` — they come back
+  /// crashed ("harness timeout") and are charged only the limit. Sessions
+  /// set this to a multiple of the default configuration's run time, the
+  /// standard guard against pathological candidates (-Xint and friends).
+  void set_time_limit(SimTime limit) { time_limit_ = limit; }
+  SimTime time_limit() const { return time_limit_; }
+
+  /// Number of simulated JVM runs launched so far (cache misses only).
+  std::int64_t runs_executed() const { return runs_executed_; }
+  std::int64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  Measurement measure_uncached(const Configuration& config, BudgetClock* budget);
+
+  const JvmSimulator* simulator_;
+  WorkloadSpec workload_;
+  RunnerOptions options_;
+  SimTime time_limit_ = SimTime::infinite();
+
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Measurement> cache_;
+  std::int64_t runs_executed_ = 0;
+  std::int64_t cache_hits_ = 0;
+  double best_first_rep_ms_ = 0.0;  ///< 0 until the first finite first rep
+};
+
+}  // namespace jat

@@ -1,0 +1,24 @@
+// Internal: constructors for the concrete collector models.
+// Each maker may also prepare `heap` (divert fractions, initial sizing).
+#pragma once
+
+#include <memory>
+
+#include "jvmsim/gc_model.hpp"
+
+namespace jat::gc_detail {
+
+std::unique_ptr<GcModel> make_serial(const JvmParams& params,
+                                     const WorkloadSpec& workload,
+                                     const MachineSpec& machine, HeapSim& heap);
+std::unique_ptr<GcModel> make_parallel(const JvmParams& params,
+                                       const WorkloadSpec& workload,
+                                       const MachineSpec& machine, HeapSim& heap);
+std::unique_ptr<GcModel> make_cms(const JvmParams& params,
+                                  const WorkloadSpec& workload,
+                                  const MachineSpec& machine, HeapSim& heap);
+std::unique_ptr<GcModel> make_g1(const JvmParams& params,
+                                 const WorkloadSpec& workload,
+                                 const MachineSpec& machine, HeapSim& heap);
+
+}  // namespace jat::gc_detail

@@ -1,0 +1,20 @@
+// -XX:+UseParallelGC / +UseParallelOldGC — the throughput collector:
+// parallel scavenges, and (with ParallelOld) parallel old compaction.
+#include "jvmsim/gc_impl.hpp"
+#include "jvmsim/gc_stw_common.hpp"
+
+namespace jat::gc_detail {
+
+std::unique_ptr<GcModel> make_parallel(const JvmParams& params,
+                                       const WorkloadSpec& workload,
+                                       const MachineSpec& machine,
+                                       HeapSim& heap) {
+  (void)workload;
+  (void)heap;
+  const int young_threads = params.gc.stw_threads;
+  const int full_threads = params.gc.parallel_old ? params.gc.stw_threads : 1;
+  return std::make_unique<StwGenerationalModel>(params, machine, young_threads,
+                                                full_threads);
+}
+
+}  // namespace jat::gc_detail

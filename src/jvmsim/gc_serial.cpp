@@ -1,0 +1,18 @@
+// -XX:+UseSerialGC — single-threaded copying young collector plus
+// single-threaded mark-sweep-compact old collector.
+#include "jvmsim/gc_impl.hpp"
+#include "jvmsim/gc_stw_common.hpp"
+
+namespace jat::gc_detail {
+
+std::unique_ptr<GcModel> make_serial(const JvmParams& params,
+                                     const WorkloadSpec& workload,
+                                     const MachineSpec& machine, HeapSim& heap) {
+  (void)workload;
+  (void)heap;
+  return std::make_unique<StwGenerationalModel>(params, machine,
+                                                /*young_threads=*/1,
+                                                /*full_threads=*/1);
+}
+
+}  // namespace jat::gc_detail

@@ -1,0 +1,47 @@
+#include "jvmsim/lock_model.hpp"
+
+#include <algorithm>
+
+namespace jat {
+
+namespace {
+// Costs in microseconds per monitor operation.
+constexpr double kBiasedHit = 0.004;     ///< owner re-enters a biased lock
+constexpr double kCasAcquire = 0.015;    ///< thin-lock compare-and-swap
+constexpr double kRevocationAmortized = 0.9;  ///< bias revocation per migration
+constexpr double kParkBase = 5.0;        ///< contended park/unpark round trip
+constexpr double kSpinGainRate = 0.12;   ///< how fast spinning avoids parks
+constexpr double kSpinBurnRate = 0.015;  ///< CPU burned per spin iteration
+}  // namespace
+
+LockModel::LockModel(const RuntimeParams& runtime, const JitParams& jit,
+                     const WorkloadSpec& workload)
+    : runtime_(runtime),
+      locks_per_work_(workload.locks_per_work * (1.0 - jit.lock_elision)),
+      contention_(workload.lock_contention),
+      migration_(workload.lock_migration) {}
+
+double LockModel::overhead_us_per_work(SimTime now) const {
+  if (locks_per_work_ <= 0.0) return 0.0;
+  const bool biased = runtime_.biased_locking && now >= runtime_.biased_delay;
+
+  double uncontended_cost;
+  if (biased) {
+    // Thread-affine locks are nearly free; migrating locks pay revocation.
+    uncontended_cost = kBiasedHit * (1.0 - migration_) +
+                       (kCasAcquire + kRevocationAmortized) * migration_;
+  } else {
+    uncontended_cost = kCasAcquire;
+  }
+
+  // Contended acquisitions: spinning shortens parks but burns cycles, so
+  // there is an interior optimum for PreBlockSpin.
+  const double spin = static_cast<double>(runtime_.pre_block_spin);
+  const double contended_cost =
+      kParkBase / (1.0 + kSpinGainRate * spin) + kSpinBurnRate * spin;
+
+  return locks_per_work_ * ((1.0 - contention_) * uncontended_cost +
+                            contention_ * contended_cost);
+}
+
+}  // namespace jat

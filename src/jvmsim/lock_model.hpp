@@ -1,0 +1,32 @@
+// Monitor (synchronisation) cost model.
+//
+// Charges a per-work-unit overhead from the workload's monitor traffic and
+// the locking flags: biased locking makes thread-affine locks nearly free
+// but pays revocation storms when locks migrate between threads, and
+// contended acquisitions trade spin cycles against park/unpark latency —
+// both real HotSpot trade-offs the paper's tuner exploits on lock-heavy
+// programs (avrora, xalan).
+#pragma once
+
+#include "jvmsim/params.hpp"
+#include "workloads/workload.hpp"
+
+namespace jat {
+
+class LockModel {
+ public:
+  LockModel(const RuntimeParams& runtime, const JitParams& jit,
+            const WorkloadSpec& workload);
+
+  /// Synchronisation overhead in microseconds per work unit at simulated
+  /// time `now` (biased locking only engages after its startup delay).
+  double overhead_us_per_work(SimTime now) const;
+
+ private:
+  RuntimeParams runtime_;
+  double locks_per_work_ = 0;
+  double contention_ = 0;
+  double migration_ = 0;
+};
+
+}  // namespace jat

@@ -1,0 +1,44 @@
+// The reference machine the simulated JVM runs on.
+//
+// All rate constants live here so the whole performance model can be
+// re-calibrated in one place. Values approximate a 2015-era 8-core Xeon —
+// the class of machine the paper's experiments used.
+#pragma once
+
+namespace jat {
+
+struct MachineSpec {
+  int cores = 8;
+
+  // ---- GC work rates, bytes per second per thread --------------------------
+  double young_copy_rate = 600e6;   ///< evacuate live young objects
+  double mark_rate = 900e6;         ///< trace live objects stop-the-world
+  double compact_rate = 350e6;      ///< slide/compact old generation
+  double sweep_rate = 2500e6;       ///< free-list sweep (no moving)
+  double conc_mark_rate = 350e6;    ///< concurrent marking (slower, interleaved)
+  double card_scan_rate = 8000e6;   ///< scan remembered sets / card tables
+
+  /// Parallelisable fraction of stop-the-world GC work (Amdahl).
+  double gc_parallel_fraction = 0.92;
+
+  // ---- JIT compile rates, code bytes per second per compiler thread --------
+  double c1_compile_rate = 2.0e6;
+  double c2_compile_rate = 0.30e6;
+
+  // ---- fixed costs ----------------------------------------------------------
+  double gc_pause_floor_ms = 0.25;      ///< bookkeeping per STW pause
+  double ttsp_base_ms = 0.08;           ///< time-to-safepoint base
+  double ttsp_per_thread_ms = 0.02;     ///< per runnable app thread
+  double class_load_ms = 0.15;          ///< per class, unverified, no CDS
+  double heap_commit_rate = 4000e6;     ///< bytes/s for page commit (pretouch)
+
+  /// Effective parallel speedup of `threads` GC workers on this machine.
+  double gc_speedup(int threads) const {
+    const int usable = threads < cores ? threads : cores;
+    if (usable <= 1) return 1.0;
+    const double p = gc_parallel_fraction;
+    return 1.0 / ((1.0 - p) + p / static_cast<double>(usable));
+  }
+};
+
+}  // namespace jat

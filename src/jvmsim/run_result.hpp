@@ -1,0 +1,58 @@
+// The outcome of one simulated JVM run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "jvmsim/run_trace.hpp"
+#include "support/sim_time.hpp"
+
+namespace jat {
+
+struct RunResult {
+  // ---- outcome --------------------------------------------------------------
+  bool crashed = false;        ///< VM refused to start, OOM, or sim timeout
+  std::string crash_reason;    ///< empty when !crashed
+
+  // ---- headline -------------------------------------------------------------
+  SimTime total_time;    ///< wall time of the whole run (the tuning objective)
+  SimTime startup_time;  ///< wall time until startup work completed
+  double work_done = 0;  ///< work units completed (== workload.total_work unless crashed)
+
+  // ---- GC -------------------------------------------------------------------
+  std::int64_t young_gc_count = 0;
+  std::int64_t full_gc_count = 0;
+  std::int64_t concurrent_cycles = 0;
+  std::int64_t concurrent_mode_failures = 0;
+  std::int64_t promotion_failures = 0;
+  SimTime gc_pause_total;
+  SimTime gc_pause_max;
+  SimTime concurrent_gc_cpu;   ///< CPU time spent by concurrent GC threads
+  std::int64_t peak_heap_used = 0;
+  std::int64_t heap_capacity = 0;
+
+  // ---- JIT ------------------------------------------------------------------
+  std::int64_t compiles_c1 = 0;
+  std::int64_t compiles_c2 = 0;
+  SimTime compile_cpu;             ///< CPU time spent compiling
+  std::int64_t code_cache_used = 0;
+  bool code_cache_disabled = false;  ///< compiler shut down (cache full, no flushing)
+  std::int64_t code_cache_flushes = 0;
+
+  // ---- runtime ----------------------------------------------------------------
+  SimTime lock_overhead;
+  SimTime safepoint_overhead;
+  SimTime class_load_time;
+
+  /// Event timeline; non-null only when SimOptions::collect_trace is set.
+  std::shared_ptr<const RunTrace> trace;
+
+  /// Throughput in work units per simulated second (0 when crashed).
+  double throughput() const {
+    const double s = total_time.as_seconds();
+    return s > 0.0 ? work_done / s : 0.0;
+  }
+};
+
+}  // namespace jat

@@ -1,0 +1,31 @@
+#include "jvmsim/run_trace.hpp"
+
+#include <cstdio>
+
+#include "support/units.hpp"
+
+namespace jat {
+
+const char* to_string(GcEventKind kind) {
+  switch (kind) {
+    case GcEventKind::kYoung: return "GC (Allocation Failure)";
+    case GcEventKind::kFull: return "Full GC (Ergonomics)";
+    case GcEventKind::kConcurrentStart: return "GC (Concurrent Start)";
+    case GcEventKind::kConcurrentEnd: return "GC (Concurrent End)";
+    case GcEventKind::kConcurrentFailure: return "Full GC (Concurrent Mode Failure)";
+  }
+  return "GC";
+}
+
+std::string RunTrace::render(const GcEvent& event, std::int64_t heap_capacity) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%9.3f: [%s%s %lldK(%lldK), %.4f secs]",
+                event.at.as_seconds(), to_string(event.kind),
+                event.promotion_failure ? " (Promotion Failed)" : "",
+                static_cast<long long>(event.heap_used_after / 1024),
+                static_cast<long long>(heap_capacity / 1024),
+                event.pause.as_seconds());
+  return buf;
+}
+
+}  // namespace jat

@@ -1,0 +1,44 @@
+// Optional per-run event timeline — the simulator's "-verbose:gc".
+//
+// When SimOptions::collect_trace is set, the engine records every
+// collection with its timestamp, pause, and heap occupancy, so users can
+// inspect *why* a configuration behaves as it does (and the gc_log example
+// can print HotSpot-style log lines). Disabled by default: tuning sessions
+// run millions of events and should not pay for allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/sim_time.hpp"
+
+namespace jat {
+
+enum class GcEventKind {
+  kYoung,              ///< scavenge
+  kFull,               ///< stop-the-world full collection
+  kConcurrentStart,    ///< CMS initial mark / G1 concurrent-start
+  kConcurrentEnd,      ///< cycle finished (remark+sweep / cleanup)
+  kConcurrentFailure,  ///< CMS concurrent mode failure
+};
+
+const char* to_string(GcEventKind kind);
+
+struct GcEvent {
+  SimTime at;          ///< simulated instant the pause began
+  GcEventKind kind = GcEventKind::kYoung;
+  SimTime pause;       ///< stop-the-world time charged (0 for pure markers)
+  std::int64_t heap_used_after = 0;   ///< bytes live+garbage after the event
+  std::int64_t old_used_after = 0;
+  std::int64_t young_size = 0;        ///< current young generation size
+  bool promotion_failure = false;
+};
+
+struct RunTrace {
+  std::vector<GcEvent> gc_events;
+  /// Renders one event as a HotSpot-flavoured log line.
+  static std::string render(const GcEvent& event, std::int64_t heap_capacity);
+};
+
+}  // namespace jat

@@ -1,0 +1,33 @@
+// Error types shared across the auto-tuner libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jat {
+
+/// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a flag name, value, or constraint is invalid.
+class FlagError : public Error {
+ public:
+  explicit FlagError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a simulator precondition is violated (bad workload/config).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when tuner configuration is inconsistent (empty space, bad budget).
+class TunerError : public Error {
+ public:
+  explicit TunerError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace jat

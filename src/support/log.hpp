@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Tuning sessions can emit a lot of per-evaluation chatter; the default
+// level is Info so library users see phase transitions and improvements but
+// not every simulated run. Thread-safe: concurrent evaluators log through a
+// single mutex so lines never interleave.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace jat {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line ("[level] message") to stderr if `level` passes the
+/// threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { log_line(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LineBuilder log_debug() { return detail::LineBuilder(LogLevel::kDebug); }
+inline detail::LineBuilder log_info() { return detail::LineBuilder(LogLevel::kInfo); }
+inline detail::LineBuilder log_warn() { return detail::LineBuilder(LogLevel::kWarn); }
+inline detail::LineBuilder log_error() { return detail::LineBuilder(LogLevel::kError); }
+
+}  // namespace jat

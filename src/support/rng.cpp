@@ -1,0 +1,134 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace jat {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire-style rejection: retry while in the biased zone.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform01() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  return median * std::exp(sigma * normal());
+}
+
+bool Rng::chance(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  return uniform01() < probability;
+}
+
+double Rng::exponential(double mean) {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty()) return 0;
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return next_below(weights.size());
+  double pick = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (pick < w) return i;
+    pick -= w;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split(std::uint64_t salt) {
+  return Rng(mix64(next_u64(), salt));
+}
+
+Rng Rng::split(std::string_view key) {
+  return split(fnv1a64(key));
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  // Asymmetric: hash a, fold b in, hash again — mix64(a,b) != mix64(b,a).
+  std::uint64_t state = a;
+  const std::uint64_t ha = splitmix64(state);
+  state = ha ^ b;
+  return splitmix64(state);
+}
+
+}  // namespace jat

@@ -1,0 +1,81 @@
+// Simulated time: a strong integer type counting microseconds.
+//
+// All JVM-simulator and tuning-budget accounting uses SimTime rather than
+// std::chrono wall-clock types, so a 200-"minute" tuning session runs in
+// milliseconds of real time while keeping the paper's budget semantics.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace jat {
+
+/// Microsecond-resolution simulated time (duration or instant, by context).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime micros(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime millis(std::int64_t ms) { return SimTime(ms * 1000); }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr SimTime minutes(double m) { return seconds(m * 60.0); }
+  static constexpr SimTime zero() { return SimTime(0); }
+  /// A sentinel later than any realistic simulated instant.
+  static constexpr SimTime infinite() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t as_micros() const { return micros_; }
+  constexpr double as_millis() const { return static_cast<double>(micros_) / 1e3; }
+  constexpr double as_seconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double as_minutes() const { return as_seconds() / 60.0; }
+
+  constexpr bool is_zero() const { return micros_ == 0; }
+  constexpr bool is_infinite() const { return micros_ == INT64_MAX; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    if (a.is_infinite() || b.is_infinite()) return infinite();
+    return SimTime(a.micros_ + b.micros_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.micros_ - b.micros_);
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(a.micros_) * k));
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.micros_) / static_cast<double>(b.micros_);
+  }
+  SimTime& operator+=(SimTime other) { return *this = *this + other; }
+  SimTime& operator-=(SimTime other) { return *this = *this - other; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  /// Human-readable rendering, e.g. "1.25s", "340ms", "200min".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : micros_(us) {}
+  std::int64_t micros_ = 0;
+};
+
+inline std::string SimTime::to_string() const {
+  if (is_infinite()) return "inf";
+  const double s = as_seconds();
+  char buf[64];
+  if (s >= 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1fmin", s / 60.0);
+  } else if (s >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", s);
+  } else if (micros_ >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.1fms", as_millis());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(micros_));
+  }
+  return buf;
+}
+
+}  // namespace jat

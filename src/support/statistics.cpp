@@ -1,0 +1,169 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jat {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::sem() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double median_of(std::vector<double> sample) {
+  if (sample.empty()) return 0.0;
+  const std::size_t mid = sample.size() / 2;
+  std::nth_element(sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sample.end());
+  double hi = sample[mid];
+  if (sample.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+SampleSummary summarize(const std::vector<double>& sample) {
+  SampleSummary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+
+  RunningStat rs;
+  for (double x : sample) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.median = median_of(sample);
+
+  std::vector<double> dev;
+  dev.reserve(sample.size());
+  for (double x : sample) dev.push_back(std::abs(x - s.median));
+  s.mad = median_of(std::move(dev));
+
+  if (sample.size() >= 2) {
+    const double dof = static_cast<double>(sample.size() - 1);
+    s.ci95_half = t_critical_95(dof) * rs.sem();
+  }
+  return s;
+}
+
+double t_critical_95(double dof) {
+  // Two-sided 95% critical values of Student's t. Coarse table, linear use
+  // of the last entry beyond 30 dof (converges to the normal 1.96).
+  struct Entry {
+    double dof;
+    double t;
+  };
+  static constexpr Entry kTable[] = {
+      {1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+      {6, 2.447},  {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+      {12, 2.179}, {15, 2.131}, {20, 2.086}, {25, 2.060}, {30, 2.042},
+  };
+  if (dof <= 1.0) return kTable[0].t;
+  for (std::size_t i = 1; i < std::size(kTable); ++i) {
+    if (dof <= kTable[i].dof) {
+      const auto& lo = kTable[i - 1];
+      const auto& hi = kTable[i];
+      const double frac = (dof - lo.dof) / (hi.dof - lo.dof);
+      return lo.t + frac * (hi.t - lo.t);
+    }
+  }
+  // Tail toward the normal quantile.
+  return 1.96 + (2.042 - 1.96) * (30.0 / dof);
+}
+
+namespace {
+
+// Standard normal survival-function based two-sided p approximation.
+double two_sided_p_from_z(double z) {
+  const double az = std::abs(z);
+  // Abramowitz & Stegun 26.2.17-style approximation of Phi.
+  const double t = 1.0 / (1.0 + 0.2316419 * az);
+  const double poly =
+      t * (0.319381530 +
+           t * (-0.356563782 +
+                t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+  const double pdf = std::exp(-0.5 * az * az) / std::sqrt(2.0 * M_PI);
+  const double upper_tail = pdf * poly;
+  double p = 2.0 * upper_tail;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
+WelchResult welch_t_test(const RunningStat& a, const RunningStat& b) {
+  WelchResult r;
+  if (a.count() < 2 || b.count() < 2) return r;
+  const double va = a.variance() / static_cast<double>(a.count());
+  const double vb = b.variance() / static_cast<double>(b.count());
+  const double denom = std::sqrt(va + vb);
+  if (denom <= 0.0) {
+    // Zero variance in both samples: means either equal or trivially apart.
+    r.t = (a.mean() == b.mean()) ? 0.0 : 1e9;
+    r.dof = static_cast<double>(a.count() + b.count() - 2);
+    r.p_value = (a.mean() == b.mean()) ? 1.0 : 0.0;
+    r.significant_at_05 = a.mean() != b.mean();
+    return r;
+  }
+  r.t = (a.mean() - b.mean()) / denom;
+  const double na = static_cast<double>(a.count());
+  const double nb = static_cast<double>(b.count());
+  const double num = (va + vb) * (va + vb);
+  const double den = va * va / (na - 1.0) + vb * vb / (nb - 1.0);
+  r.dof = den > 0.0 ? num / den : na + nb - 2.0;
+  r.p_value = two_sided_p_from_z(r.t);  // normal approximation
+  r.significant_at_05 = std::abs(r.t) > t_critical_95(r.dof);
+  return r;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
+}
+
+}  // namespace jat

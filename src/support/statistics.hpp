@@ -1,0 +1,78 @@
+// Lightweight statistics for benchmark measurements.
+//
+// The harness reports each benchmark as a small sample of noisy simulated
+// run times; tuners compare candidate configurations on summary statistics.
+// We provide streaming moments (Welford), order statistics, confidence
+// intervals, and a Welch t-test used by tests and the significance checks
+// in the harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace jat {
+
+/// Streaming mean/variance accumulator (Welford's algorithm); O(1) space.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double sem() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Full-sample summary with order statistics.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double mad = 0.0;       ///< median absolute deviation (robust spread)
+  double ci95_half = 0.0; ///< half-width of the 95% CI of the mean
+};
+
+/// Summarises a sample (copies + sorts internally; sample left untouched).
+SampleSummary summarize(const std::vector<double>& sample);
+
+/// Median of a sample (empty sample yields 0).
+double median_of(std::vector<double> sample);
+
+/// Two-sided Welch t-test result.
+struct WelchResult {
+  double t = 0.0;
+  double dof = 0.0;
+  /// Approximate two-sided p-value (normal approximation is used for
+  /// dof > 30, Student-t lookup below; good to a few percent, which is all
+  /// the harness needs).
+  double p_value = 1.0;
+  bool significant_at_05 = false;
+};
+
+/// Welch's unequal-variance t-test for difference in means.
+WelchResult welch_t_test(const RunningStat& a, const RunningStat& b);
+
+/// Two-sided critical t value at 95% for the given degrees of freedom.
+double t_critical_95(double dof);
+
+/// Geometric mean of strictly positive values (others skipped); 0 if none.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace jat

@@ -1,0 +1,130 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace jat {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ',' &&
+               c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw Error("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw Error("TextTable: row arity " + std::to_string(row.size()) +
+                " != header arity " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      const bool right = align_numeric && looks_numeric(row[c]);
+      const std::size_t pad = width[c] - row[c].size();
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right && c + 1 < row.size()) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(header_, /*align_numeric=*/false);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule.push_back(std::string(width[c], '-'));
+  }
+  emit_row(rule, /*align_numeric=*/false);
+  for (const auto& row : rows_) emit_row(row, /*align_numeric=*/true);
+  return out.str();
+}
+
+void TextTable::write_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool TextTable::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_count(std::int64_t value) {
+  const bool negative = value < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(value)
+               : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ',';
+    out += digits[i];
+  }
+  if (negative) out.insert(out.begin(), '-');
+  return out;
+}
+
+}  // namespace jat

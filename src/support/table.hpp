@@ -1,0 +1,50 @@
+// Console table rendering and CSV export for benchmark/experiment output.
+//
+// Every bench binary prints the paper-style rows through TextTable and also
+// persists a CSV via write_csv so EXPERIMENTS.md numbers can be regenerated.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jat {
+
+/// A rectangular table of strings with a header row. Cells are padded to
+/// column width on render; numeric-looking cells are right-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity (throws Error otherwise).
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Renders with a separator under the header, e.g.
+  ///   program        default   tuned   improvement
+  ///   -------        -------   -----   -----------
+  std::string render() const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& out) const;
+
+  /// Convenience: writes the CSV to a file path; returns false on IO error.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+std::string fmt(double value, int decimals = 2);
+
+/// Formats an integer with thousands separators ("12,345").
+std::string fmt_count(std::int64_t value);
+
+}  // namespace jat

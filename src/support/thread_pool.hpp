@@ -1,0 +1,64 @@
+// A small fixed-size thread pool used to evaluate candidate configurations
+// in parallel.
+//
+// Tuning sessions evaluate whole populations (genetic generations, random
+// batches) whose members are independent; the pool gives near-linear
+// speedup on those batches while the splittable Rng keeps results
+// deterministic regardless of scheduling (see support/rng.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jat {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; the future reports its result or exception.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, count) on the pool and blocks until all are
+  /// done. Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace jat

@@ -1,0 +1,62 @@
+#include "support/units.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace jat {
+
+std::string format_bytes(std::int64_t bytes) {
+  char buf[64];
+  if (bytes != 0 && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lldg", static_cast<long long>(bytes / kGiB));
+  } else if (bytes != 0 && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lldm", static_cast<long long>(bytes / kMiB));
+  } else if (bytes != 0 && bytes % kKiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lldk", static_cast<long long>(bytes / kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::int64_t parse_bytes(std::string_view text) {
+  if (text.empty()) throw FlagError("parse_bytes: empty input");
+  std::int64_t multiplier = 1;
+  std::string_view digits = text;
+  const char last = static_cast<char>(std::tolower(static_cast<unsigned char>(text.back())));
+  if (last == 'k' || last == 'm' || last == 'g' || last == 't') {
+    digits = text.substr(0, text.size() - 1);
+    switch (last) {
+      case 'k': multiplier = kKiB; break;
+      case 'm': multiplier = kMiB; break;
+      case 'g': multiplier = kGiB; break;
+      case 't': multiplier = kGiB * 1024; break;
+    }
+  }
+  if (digits.empty()) throw FlagError("parse_bytes: no digits in '" + std::string(text) + "'");
+  std::int64_t value = 0;
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw FlagError("parse_bytes: malformed size '" + std::string(text) + "'");
+    }
+    const int digit = c - '0';
+    if (value > (INT64_MAX - digit) / 10) {
+      throw FlagError("parse_bytes: overflow in '" + std::string(text) + "'");
+    }
+    value = value * 10 + digit;
+  }
+  if (multiplier != 1 && value > INT64_MAX / multiplier) {
+    throw FlagError("parse_bytes: overflow in '" + std::string(text) + "'");
+  }
+  return value * multiplier;
+}
+
+std::string format_percent(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+}  // namespace jat

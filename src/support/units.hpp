@@ -1,0 +1,29 @@
+// Byte-size units and parsing/formatting helpers for memory flags.
+//
+// HotSpot memory flags take values like "512m" or "4g"; the simulator and
+// the flag catalog work in raw bytes internally and render using these
+// helpers so configurations look like real -XX command lines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jat {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// Renders a byte count compactly: exact multiples of GiB/MiB/KiB use the
+/// suffix ("512m", "4g"), everything else renders as raw bytes.
+std::string format_bytes(std::int64_t bytes);
+
+/// Parses "4g" / "512m" / "64k" / "12345" (case-insensitive suffix).
+/// Throws jat::FlagError on malformed input or negative values.
+std::int64_t parse_bytes(std::string_view text);
+
+/// Formats a ratio as a percentage with one decimal, e.g. "19.3%".
+std::string format_percent(double ratio);
+
+}  // namespace jat

@@ -1,0 +1,154 @@
+// The tuner zoo: the paper's hierarchical auto-tuner plus the baselines
+// the evaluation compares against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tuner/tuner.hpp"
+
+namespace jat {
+
+/// Flat random sampling. `density` is the fraction of flags randomised per
+/// candidate; `flat` ignores the hierarchy entirely (can emit non-startable
+/// configurations — the classic failure of naive whole-JVM search).
+class RandomSearch : public Tuner {
+ public:
+  explicit RandomSearch(double density = 1.0, bool flat = false)
+      : density_(density), flat_(flat) {}
+  std::string name() const override;
+  void tune(TuningContext& ctx) override;
+
+ private:
+  double density_;
+  bool flat_;
+};
+
+/// First-improvement hill climbing from the incumbent, with occasional
+/// structural moves and random restarts on stagnation.
+class HillClimber : public Tuner {
+ public:
+  struct Options {
+    int stagnation_limit = 40;       ///< failures before a restart
+    double structure_probability = 0.08;
+    bool flat = false;               ///< ablation: mutate over all flags
+  };
+  HillClimber();
+  explicit HillClimber(Options options);
+  std::string name() const override;
+  void tune(TuningContext& ctx) override;
+
+ private:
+  Options options_;
+};
+
+/// Simulated annealing; temperature decays with budget consumption.
+class SimulatedAnnealing : public Tuner {
+ public:
+  struct Options {
+    double initial_temp_frac = 0.08;  ///< of the default objective
+    double structure_probability = 0.06;
+  };
+  SimulatedAnnealing();
+  explicit SimulatedAnnealing(Options options);
+  std::string name() const override;
+  void tune(TuningContext& ctx) override;
+
+ private:
+  Options options_;
+};
+
+/// Generational GA with tournament selection, uniform crossover, elitism.
+/// Generations evaluate as a batch (parallel when the session has a pool).
+class GeneticTuner : public Tuner {
+ public:
+  struct Options {
+    int population = 20;
+    int elite = 2;
+    int tournament = 3;
+    double crossover_probability = 0.7;
+    double structure_probability = 0.08;
+    double init_density = 0.10;  ///< randomised flag fraction in generation 0
+    bool flat = false;           ///< ablation: flat operators
+  };
+  GeneticTuner();
+  explicit GeneticTuner(Options options);
+  std::string name() const override;
+  void tune(TuningContext& ctx) override;
+
+ private:
+  Options options_;
+};
+
+/// OpenTuner-style ensemble: a sliding-window AUC bandit arbitrates among
+/// mutation/crossover/random/structure operators.
+class BanditEnsemble : public Tuner {
+ public:
+  struct Options {
+    std::size_t window = 60;
+    double exploration = 0.3;
+  };
+  BanditEnsemble();
+  explicit BanditEnsemble(Options options);
+  std::string name() const override;
+  void tune(TuningContext& ctx) override;
+
+ private:
+  Options options_;
+};
+
+/// Iterated local search (ParamILS-style): local first-improvement
+/// descent, perturbation kicks, better-acceptance between basins.
+class IteratedLocalSearch : public Tuner {
+ public:
+  struct Options {
+    int descent_patience = 25;  ///< consecutive failures ending a descent
+    int kick_strength = 6;      ///< simultaneous mutations per perturbation
+    double structure_kick_probability = 0.15;
+  };
+  IteratedLocalSearch();
+  explicit IteratedLocalSearch(Options options);
+  std::string name() const override;
+  void tune(TuningContext& ctx) override;
+
+ private:
+  Options options_;
+};
+
+/// The paper's Hot Spot Auto-tuner: explore the structural flag
+/// combinations first (collector, tiered JIT, VM/exec mode), then descend
+/// into the hierarchy nodes those choices activate with coordinate search,
+/// then refine by hill climbing until the budget runs out.
+class HierarchicalTuner : public Tuner {
+ public:
+  struct Options {
+    double structural_budget_frac = 0.15;
+    double subtree_budget_frac = 0.55;  ///< remainder goes to refinement
+    int values_per_flag = 4;            ///< candidates per flag in descent
+    bool structural_first = true;       ///< ablation: skip phase ordering
+    bool gate_subtrees = true;          ///< ablation: tune inactive flags too
+  };
+  HierarchicalTuner();
+  explicit HierarchicalTuner(Options options);
+  std::string name() const override;
+  void tune(TuningContext& ctx) override;
+
+ private:
+  Options options_;
+};
+
+/// Prior-work baseline: tunes only the classic hand-picked subset (heap
+/// sizes, young generation, collector choice, GC threads) and nothing else.
+class SubsetTuner : public Tuner {
+ public:
+  SubsetTuner();
+  explicit SubsetTuner(std::vector<std::string> flag_names);
+  std::string name() const override;
+  void tune(TuningContext& ctx) override;
+
+ private:
+  std::vector<std::string> flag_names_;
+};
+
+}  // namespace jat

@@ -1,0 +1,49 @@
+#include "tuner/algorithms.hpp"
+
+#include <cmath>
+
+namespace jat {
+
+std::string SimulatedAnnealing::name() const { return "annealing"; }
+
+void SimulatedAnnealing::tune(TuningContext& ctx) {
+  ctx.set_phase("annealing");
+  Configuration current = ctx.best_config();
+  double current_objective = ctx.best_objective();
+  const double initial_temp =
+      std::isfinite(current_objective)
+          ? current_objective * options_.initial_temp_frac
+          : 1000.0;
+
+  while (!ctx.exhausted()) {
+    Configuration candidate = current;
+    if (ctx.rng().chance(options_.structure_probability)) {
+      ctx.space().mutate_structure(candidate, ctx.rng());
+    } else {
+      const int flags = 1 + static_cast<int>(ctx.rng().next_below(3));
+      ctx.space().mutate(candidate, ctx.rng(), flags);
+    }
+
+    const double objective = ctx.evaluate(candidate);
+    // Geometric cooling driven by budget consumption.
+    const double progress = ctx.budget().spent() / ctx.budget().total();
+    const double temp = initial_temp * std::pow(0.01, std::min(1.0, progress));
+
+    bool accept = objective < current_objective;
+    if (!accept && std::isfinite(objective) && temp > 0.0) {
+      accept = ctx.rng().chance(
+          std::exp(-(objective - current_objective) / temp));
+    }
+    if (accept) {
+      current = std::move(candidate);
+      current_objective = objective;
+    }
+  }
+}
+
+}  // namespace jat
+
+namespace jat {
+SimulatedAnnealing::SimulatedAnnealing() : SimulatedAnnealing(Options{}) {}
+SimulatedAnnealing::SimulatedAnnealing(Options options) : options_(options) {}
+}  // namespace jat

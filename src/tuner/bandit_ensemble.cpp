@@ -1,0 +1,118 @@
+// OpenTuner-style technique ensemble with a sliding-window AUC credit
+// bandit: each operator earns credit when the candidate it produced
+// improves on its parent, weighted toward recent outcomes; operator choice
+// maximises credit plus an exploration bonus.
+#include "tuner/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace jat {
+
+namespace {
+
+struct OperatorStats {
+  std::deque<bool> window;  ///< recent outcomes (true = improved)
+  std::size_t uses = 0;
+
+  void note(bool improved, std::size_t window_cap) {
+    window.push_back(improved);
+    if (window.size() > window_cap) window.pop_front();
+    ++uses;
+  }
+
+  /// Area-under-curve credit: recent successes weigh more.
+  double auc() const {
+    if (window.empty()) return 0.0;
+    double credit = 0.0;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      const double weight = static_cast<double>(i + 1);
+      credit += weight * (window[i] ? 1.0 : 0.0);
+      norm += weight;
+    }
+    return credit / norm;
+  }
+};
+
+}  // namespace
+
+std::string BanditEnsemble::name() const { return "bandit"; }
+
+void BanditEnsemble::tune(TuningContext& ctx) {
+  ctx.set_phase("bandit");
+  enum Op : std::size_t {
+    kMutateSmall = 0,
+    kMutateLarge,
+    kMutateWide,
+    kStructure,
+    kCrossRandom,
+    kRandom,
+    kOpCount,
+  };
+  std::vector<OperatorStats> stats(kOpCount);
+  std::size_t total_uses = 0;
+
+  Configuration current = ctx.best_config();
+  double current_objective = ctx.best_objective();
+
+  while (!ctx.exhausted()) {
+    // Pick the operator with the best credit + exploration bonus.
+    std::size_t op = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      const double bonus =
+          options_.exploration *
+          std::sqrt(std::log(static_cast<double>(total_uses + 2)) /
+                    static_cast<double>(stats[i].uses + 1));
+      const double score = stats[i].auc() + bonus;
+      if (score > best_score) {
+        best_score = score;
+        op = i;
+      }
+    }
+
+    Configuration candidate = current;
+    switch (static_cast<Op>(op)) {
+      case kMutateSmall:
+        ctx.space().mutate(candidate, ctx.rng(), 1, 0.5);
+        break;
+      case kMutateLarge:
+        ctx.space().mutate(candidate, ctx.rng(), 3, 1.0);
+        break;
+      case kMutateWide:
+        ctx.space().mutate(candidate, ctx.rng(), 6, 2.0);
+        break;
+      case kStructure:
+        ctx.space().mutate_structure(candidate, ctx.rng());
+        break;
+      case kCrossRandom: {
+        const Configuration mate = ctx.space().random_config(ctx.rng(), 0.15);
+        candidate = ctx.space().crossover(current, mate, ctx.rng());
+        break;
+      }
+      case kRandom:
+        candidate = ctx.space().random_config(ctx.rng(), 0.15);
+        break;
+      case kOpCount:
+        break;
+    }
+
+    const double objective = ctx.evaluate(candidate);
+    const bool improved = objective < current_objective;
+    stats[op].note(improved, options_.window);
+    ++total_uses;
+    if (improved) {
+      current = std::move(candidate);
+      current_objective = objective;
+    }
+  }
+}
+
+}  // namespace jat
+
+namespace jat {
+BanditEnsemble::BanditEnsemble() : BanditEnsemble(Options{}) {}
+BanditEnsemble::BanditEnsemble(Options options) : options_(options) {}
+}  // namespace jat

@@ -1,0 +1,90 @@
+#include "tuner/algorithms.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace jat {
+
+namespace {
+
+/// Index of the tournament winner (lowest objective) among `k` random picks.
+std::size_t tournament_pick(const std::vector<double>& fitness, int k, Rng& rng) {
+  std::size_t best = rng.next_below(fitness.size());
+  for (int i = 1; i < k; ++i) {
+    const std::size_t challenger = rng.next_below(fitness.size());
+    if (fitness[challenger] < fitness[best]) best = challenger;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string GeneticTuner::name() const {
+  return options_.flat ? "genetic-flat" : "genetic";
+}
+
+void GeneticTuner::tune(TuningContext& ctx) {
+  ctx.set_phase("genetic");
+  const std::size_t population_size =
+      static_cast<std::size_t>(std::max(4, options_.population));
+
+  // Generation 0: the incumbent plus lightly-randomised individuals.
+  std::vector<Configuration> population;
+  population.reserve(population_size);
+  population.push_back(ctx.best_config());
+  while (population.size() < population_size) {
+    population.push_back(
+        options_.flat
+            ? ctx.space().random_config_flat(ctx.rng(), options_.init_density)
+            : ctx.space().random_config(ctx.rng(), options_.init_density));
+  }
+  std::vector<double> fitness = ctx.evaluate_batch(population);
+
+  while (!ctx.exhausted()) {
+    // Rank for elitism.
+    std::vector<std::size_t> order(population.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return fitness[a] < fitness[b];
+    });
+
+    std::vector<Configuration> next;
+    next.reserve(population_size);
+    for (int e = 0; e < options_.elite &&
+                    next.size() < population_size &&
+                    static_cast<std::size_t>(e) < order.size();
+         ++e) {
+      next.push_back(population[order[static_cast<std::size_t>(e)]]);
+    }
+
+    while (next.size() < population_size) {
+      const std::size_t a = tournament_pick(fitness, options_.tournament, ctx.rng());
+      Configuration child = population[a];
+      if (ctx.rng().chance(options_.crossover_probability)) {
+        const std::size_t b =
+            tournament_pick(fitness, options_.tournament, ctx.rng());
+        child = ctx.space().crossover(population[a], population[b], ctx.rng());
+      }
+      if (!options_.flat && ctx.rng().chance(options_.structure_probability)) {
+        ctx.space().mutate_structure(child, ctx.rng());
+      }
+      const int flags = 1 + static_cast<int>(ctx.rng().next_below(4));
+      if (options_.flat) {
+        ctx.space().mutate_flat(child, ctx.rng(), flags);
+      } else {
+        ctx.space().mutate(child, ctx.rng(), flags);
+      }
+      next.push_back(std::move(child));
+    }
+
+    population = std::move(next);
+    fitness = ctx.evaluate_batch(population);
+  }
+}
+
+}  // namespace jat
+
+namespace jat {
+GeneticTuner::GeneticTuner() : GeneticTuner(Options{}) {}
+GeneticTuner::GeneticTuner(Options options) : options_(options) {}
+}  // namespace jat

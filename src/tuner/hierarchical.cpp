@@ -1,0 +1,317 @@
+// The paper's Hot Spot Auto-tuner.
+//
+// Phase 1 ("structural"): sweep the structural groups — collector choice,
+// tiered compilation, -server/-client, -Xmixed/-Xint/-Xcomp — one
+// deviation from default at a time, then cross the strongly-interacting
+// collector x JIT-mode pair. These choices decide which subtrees of the
+// flag tree are even meaningful.
+//
+// Phase 2 ("subtree"): structural choices interact with the numeric flags
+// they activate (a structure that looks best at default flag values is not
+// always best once its subtree is tuned), so the descent runs on the top
+// few structural candidates, splitting the phase budget. Within each, walk
+// the hierarchy's *active* nodes and coordinate-descend per flag with a
+// geometric line search — flags like CompileThreshold have optima an order
+// of magnitude from their defaults.
+//
+// Phase 3 ("refine"): spend the remaining budget hill-climbing with
+// multi-flag mutations over the active flags, restarting from the
+// incumbent on stagnation.
+//
+// The two ablation switches reproduce bench_f7: `structural_first=false`
+// skips phase 1 (structure only changes through rare refinement moves) and
+// `gate_subtrees=false` tunes every node whether its gate holds or not —
+// the flat search the paper's hierarchy exists to avoid.
+#include "tuner/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace jat {
+
+namespace {
+
+/// Signature of a configuration's structural choices, for dedup.
+std::string structure_signature(const FlagHierarchy& hierarchy,
+                                const Configuration& config) {
+  std::string sig;
+  for (const auto& group : hierarchy.groups()) {
+    sig += std::to_string(group.current_option(config));
+    sig += '/';
+  }
+  return sig;
+}
+
+}  // namespace
+
+std::string HierarchicalTuner::name() const {
+  if (!options_.gate_subtrees) return "hierarchical-ungated";
+  if (!options_.structural_first) return "hierarchical-nostruct";
+  return "hierarchical";
+}
+
+void HierarchicalTuner::tune(TuningContext& ctx) {
+  const FlagHierarchy& hierarchy = ctx.space().hierarchy();
+  const FlagRegistry& registry = hierarchy.registry();
+  const SimTime total = ctx.budget().total();
+
+  auto phase_over = [&](double frac) {
+    return ctx.exhausted() || ctx.budget().spent() >= total * frac;
+  };
+
+  // ---- Phase 1: structural exploration -------------------------------------
+  // One deviation at a time first (a disastrous mode like -Xint costs one
+  // timed-out measurement, not a whole cross product), then the collector x
+  // JIT-mode cross on top of the best single deviation.
+  std::vector<std::pair<double, Configuration>> structural_results;
+  structural_results.emplace_back(ctx.best_objective(), ctx.best_config());
+  const double baseline_objective = ctx.best_objective();
+
+  // Cost awareness: the session has already measured the default
+  // configuration, so the budget's capacity in evaluations is known. When
+  // it affords only a short search, structural exploration (which must pay
+  // for -Xint-class disasters at the timeout cap) is not worth its slice;
+  // all budget goes into descending on the default structure.
+  const double spent_on_default = ctx.budget().spent() / total;
+  const double affordable_total_evals =
+      spent_on_default > 0 ? 1.0 / spent_on_default : 1e9;
+  const bool structural_affordable = affordable_total_evals >= 200.0;
+
+  if (options_.structural_first && structural_affordable) {
+    ctx.set_phase("structural");
+    const Configuration defaults(registry);
+    const auto& groups = hierarchy.groups();
+
+    auto try_candidate = [&](Configuration candidate) {
+      const double objective = ctx.evaluate(candidate);
+      structural_results.emplace_back(objective, std::move(candidate));
+    };
+
+    for (const auto& group : groups) {
+      const int baseline = group.current_option(defaults);
+      for (std::size_t option = 0; option < group.options.size(); ++option) {
+        if (phase_over(options_.structural_budget_frac)) break;
+        if (static_cast<int>(option) == baseline) continue;
+        Configuration candidate(registry);
+        group.apply(candidate, option);
+        try_candidate(std::move(candidate));
+      }
+    }
+
+    const Configuration stage1_best = ctx.best_config();
+    for (const auto& gc_group : groups) {
+      if (gc_group.name != "gc") continue;
+      for (const auto& jit_group : groups) {
+        if (jit_group.name != "jit") continue;
+        for (std::size_t g = 0; g < gc_group.options.size(); ++g) {
+          for (std::size_t j = 0; j < jit_group.options.size(); ++j) {
+            if (phase_over(options_.structural_budget_frac)) break;
+            Configuration candidate = stage1_best;
+            gc_group.apply(candidate, g);
+            jit_group.apply(candidate, j);
+            try_candidate(std::move(candidate));
+          }
+        }
+      }
+    }
+  }
+
+  // Pick the descent bases: the best structural candidate, hedged with the
+  // default structure when they differ. A structure that wins at default
+  // flag values can lose once its numeric flags are tuned (e.g. -Xcomp
+  // looks decent against untuned -Xmixed but freezes the threshold flags),
+  // and the default structure is where most of HotSpot's tunable headroom
+  // lives.
+  std::stable_sort(structural_results.begin(), structural_results.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Configuration> bases;
+  std::vector<std::string> seen_structures;
+  const Configuration default_config(registry);
+  for (const auto& [objective, config] : structural_results) {
+    if (!std::isfinite(objective)) continue;
+    const std::string sig = structure_signature(hierarchy, config);
+    if (std::find(seen_structures.begin(), seen_structures.end(), sig) !=
+        seen_structures.end()) {
+      continue;
+    }
+    seen_structures.push_back(sig);
+    bases.push_back(config);
+    break;  // best structure only; the default hedge comes next
+  }
+  // Hedge with the default structure only when the remaining budget can
+  // fund a meaningful descent on both bases; on slow benchmarks the whole
+  // slice goes to the winner.
+  const double spent_frac = ctx.budget().spent() / total;
+  const double per_eval_frac =
+      spent_frac / static_cast<double>(std::max<std::size_t>(1, ctx.db().size()));
+  const double affordable_evals =
+      per_eval_frac > 0 ? (options_.subtree_budget_frac) / per_eval_frac : 1e9;
+  if (affordable_evals >= 250.0) {
+    const std::string default_sig = structure_signature(hierarchy, default_config);
+    if (std::find(seen_structures.begin(), seen_structures.end(), default_sig) ==
+        seen_structures.end()) {
+      bases.push_back(default_config);
+    }
+  } else if (!bases.empty() &&
+             structure_signature(hierarchy, bases.front()) !=
+                 structure_signature(hierarchy, default_config) &&
+             ctx.best_objective() > 0.93 * baseline_objective) {
+    // Tight budget and the structural winner beat the default by less than
+    // 7%: descend on the default structure instead, where most of
+    // HotSpot's tunable headroom lives.
+    bases.clear();
+    bases.push_back(default_config);
+  }
+  if (bases.empty()) bases.push_back(ctx.best_config());
+
+  // ---- Phase 2: subtree coordinate descent per base --------------------------
+  ctx.set_phase("subtree");
+  const double subtree_start = options_.structural_budget_frac;
+  const double subtree_end = subtree_start + options_.subtree_budget_frac;
+
+  for (std::size_t base_index = 0; base_index < bases.size(); ++base_index) {
+    const double slice_end =
+        subtree_start + (subtree_end - subtree_start) *
+                            static_cast<double>(base_index + 1) /
+                            static_cast<double>(bases.size());
+    Configuration current = bases[base_index];
+    double current_objective = ctx.evaluate(current);  // usually cached
+
+    // Collect per-node flag lists under this base's structure and
+    // interleave them breadth-first across subsystems, memory/GC/compiler
+    // nodes getting double slots. Within a node the catalog order already
+    // puts the prominent flags first.
+    std::vector<std::vector<FlagId>> node_flags;
+    std::vector<int> node_weight;
+    std::function<void(const HierarchyNode&)> walk = [&](const HierarchyNode& node) {
+      if (options_.gate_subtrees && node.gate && !node.gate(current)) return;
+      if (!node.flags.empty()) {
+        node_flags.push_back(node.flags);
+        const bool hot = node.name == "memory" ||
+                         node.name.rfind("gc", 0) == 0 || node.name == "compiler";
+        node_weight.push_back(hot ? 2 : 1);
+      }
+      for (const auto& child : node.children) walk(child);
+    };
+    walk(hierarchy.root());
+
+    std::vector<FlagId> descent_flags;
+    std::vector<std::size_t> cursor(node_flags.size(), 0);
+    for (bool any = true; any;) {
+      any = false;
+      for (std::size_t n = 0; n < node_flags.size(); ++n) {
+        for (int slot = 0; slot < node_weight[n]; ++slot) {
+          if (cursor[n] < node_flags[n].size()) {
+            descent_flags.push_back(node_flags[n][cursor[n]++]);
+            any = true;
+          }
+        }
+      }
+    }
+
+    // Geometric line search: extend an accepted numeric move in the same
+    // direction while it keeps improving — flags whose optimum sits an
+    // order of magnitude from the default are unreachable otherwise.
+    auto line_search = [&](FlagId id, double ratio) {
+      const FlagSpec& spec = registry.spec(id);
+      if (spec.type != FlagType::kInt && spec.type != FlagType::kSize) return;
+      if (ratio <= 0.0 || ratio == 1.0) return;
+      for (int step = 0; step < 12 && !phase_over(slice_end); ++step) {
+        const double next_raw =
+            static_cast<double>(current.get(id).as_int()) * ratio;
+        const std::int64_t next =
+            std::clamp(static_cast<std::int64_t>(next_raw), spec.int_domain.lo,
+                       spec.int_domain.hi);
+        if (next == current.get(id).as_int()) break;
+        Configuration candidate = current;
+        candidate.set(id, FlagValue(next));
+        const double objective = ctx.evaluate(candidate);
+        if (objective >= current_objective) break;
+        current = std::move(candidate);
+        current_objective = objective;
+      }
+    };
+
+    for (int pass = 0; pass < 2 && !phase_over(slice_end); ++pass) {
+      const double scale = pass == 0 ? 1.0 : 0.5;
+      for (FlagId id : descent_flags) {
+        if (phase_over(slice_end)) break;
+        const FlagSpec& spec = registry.spec(id);
+        // Two-sided probes for numeric flags: always try one candidate on
+        // each side of the current value (plus the default and a random
+        // long-range sample), so a steep monotone response can never be
+        // missed by unlucky sampling; the line search then follows the
+        // winning direction.
+        std::vector<FlagValue> candidates;
+        candidates.push_back(spec.default_value);
+        if (spec.type == FlagType::kInt || spec.type == FlagType::kSize) {
+          const std::int64_t v = current.get(id).as_int();
+          const std::int64_t lo = spec.int_domain.lo;
+          const std::int64_t hi = spec.int_domain.hi;
+          candidates.push_back(FlagValue(std::clamp(v / 2, lo, hi)));
+          candidates.push_back(
+              FlagValue(std::clamp(v >= hi / 2 ? hi : v * 2, lo, hi)));
+          candidates.push_back(ctx.space().random_value(spec, ctx.rng()));
+        } else {
+          candidates.push_back(ctx.space().random_value(spec, ctx.rng()));
+          while (static_cast<int>(candidates.size()) < options_.values_per_flag) {
+            candidates.push_back(
+                ctx.space().neighbor_value(spec, current.get(id), ctx.rng(), scale));
+          }
+        }
+        const FlagValue before = current.get(id);
+        for (const FlagValue& value : candidates) {
+          if (phase_over(slice_end)) break;
+          if (value == current.get(id)) continue;
+          Configuration candidate = current;
+          candidate.set(id, value);
+          const double objective = ctx.evaluate(candidate);
+          if (objective < current_objective) {
+            current = std::move(candidate);
+            current_objective = objective;
+          }
+        }
+        if (!(current.get(id) == before) && before.is_int() &&
+            before.as_int() > 0 && current.get(id).as_int() > 0) {
+          line_search(id, static_cast<double>(current.get(id).as_int()) /
+                              static_cast<double>(before.as_int()));
+        }
+      }
+    }
+  }
+
+  // ---- Phase 3: refinement hill climbing ------------------------------------
+  ctx.set_phase("refine");
+  Configuration current = ctx.best_config();
+  double current_objective = ctx.best_objective();
+  int stagnation = 0;
+  while (!ctx.exhausted()) {
+    Configuration candidate = current;
+    const double structure_probability = options_.structural_first ? 0.04 : 0.10;
+    const int flags = 1 + static_cast<int>(ctx.rng().next_below(6));
+    const double scale = ctx.rng().chance(0.3) ? 2.0 : 1.0;
+    if (ctx.rng().chance(structure_probability)) {
+      ctx.space().mutate_structure(candidate, ctx.rng());
+    } else if (options_.gate_subtrees) {
+      ctx.space().mutate(candidate, ctx.rng(), flags, scale);
+    } else {
+      ctx.space().mutate_flat(candidate, ctx.rng(), flags, scale);
+    }
+    const double objective = ctx.evaluate(candidate);
+    if (objective < current_objective) {
+      current = std::move(candidate);
+      current_objective = objective;
+      stagnation = 0;
+    } else if (++stagnation >= 50) {
+      current = ctx.best_config();
+      current_objective = ctx.best_objective();
+      stagnation = 0;
+    }
+  }
+}
+
+HierarchicalTuner::HierarchicalTuner() : HierarchicalTuner(Options{}) {}
+HierarchicalTuner::HierarchicalTuner(Options options) : options_(options) {}
+
+}  // namespace jat

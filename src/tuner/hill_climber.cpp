@@ -1,0 +1,52 @@
+#include "tuner/algorithms.hpp"
+
+namespace jat {
+
+std::string HillClimber::name() const {
+  return options_.flat ? "hillclimb-flat" : "hillclimb";
+}
+
+void HillClimber::tune(TuningContext& ctx) {
+  ctx.set_phase("hillclimb");
+  Configuration current = ctx.best_config();
+  double current_objective = ctx.best_objective();
+  int stagnation = 0;
+
+  while (!ctx.exhausted()) {
+    Configuration candidate = current;
+    if (!options_.flat && ctx.rng().chance(options_.structure_probability)) {
+      ctx.space().mutate_structure(candidate, ctx.rng());
+    } else {
+      const int flags = 1 + static_cast<int>(ctx.rng().next_below(3));
+      if (options_.flat) {
+        ctx.space().mutate_flat(candidate, ctx.rng(), flags);
+      } else {
+        ctx.space().mutate(candidate, ctx.rng(), flags);
+      }
+    }
+
+    const double objective = ctx.evaluate(candidate);
+    if (objective < current_objective) {
+      current = std::move(candidate);
+      current_objective = objective;
+      stagnation = 0;
+    } else if (++stagnation >= options_.stagnation_limit) {
+      // Restart from a lightly-randomised incumbent.
+      current = ctx.best_config();
+      if (options_.flat) {
+        ctx.space().mutate_flat(current, ctx.rng(), 5, 2.0);
+      } else {
+        ctx.space().mutate(current, ctx.rng(), 5, 2.0);
+      }
+      current_objective = ctx.evaluate(current);
+      stagnation = 0;
+    }
+  }
+}
+
+}  // namespace jat
+
+namespace jat {
+HillClimber::HillClimber() : HillClimber(Options{}) {}
+HillClimber::HillClimber(Options options) : options_(options) {}
+}  // namespace jat

@@ -1,0 +1,65 @@
+#include "tuner/importance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/statistics.hpp"
+
+namespace jat {
+
+ImportanceReport analyze_importance(BenchmarkRunner& runner,
+                                    const Configuration& tuned,
+                                    double min_contribution_frac) {
+  const FlagRegistry& registry = tuned.registry();
+  ImportanceReport report{.tuned_ms = 0,
+                          .default_ms = 0,
+                          .contributions = {},
+                          .essential_config = Configuration(registry),
+                          .essential_ms = 0};
+
+  const Measurement tuned_measurement = runner.measure(tuned);
+  report.tuned_ms = tuned_measurement.objective();
+  report.default_ms = runner.measure(Configuration(registry)).objective();
+
+  for (FlagId id : tuned.changed_flags()) {
+    const FlagSpec& spec = registry.spec(id);
+    Configuration reverted = tuned;
+    reverted.set(id, spec.default_value);
+
+    FlagContribution contribution;
+    contribution.id = id;
+    contribution.name = spec.name;
+    contribution.tuned_value = tuned.get(id).render(spec.type == FlagType::kSize);
+    contribution.default_value =
+        spec.default_value.render(spec.type == FlagType::kSize);
+    const Measurement reverted_measurement = runner.measure(reverted);
+    contribution.reverted_ms = reverted_measurement.objective();
+    contribution.contribution_ms = contribution.reverted_ms - report.tuned_ms;
+    contribution.contribution_frac =
+        report.tuned_ms > 0 ? contribution.contribution_ms / report.tuned_ms : 0;
+    RunningStat tuned_stat;
+    for (double t : tuned_measurement.times_ms) tuned_stat.add(t);
+    RunningStat reverted_stat;
+    for (double t : reverted_measurement.times_ms) reverted_stat.add(t);
+    contribution.significant =
+        welch_t_test(tuned_stat, reverted_stat).significant_at_05;
+    report.contributions.push_back(std::move(contribution));
+  }
+
+  std::stable_sort(report.contributions.begin(), report.contributions.end(),
+                   [](const FlagContribution& a, const FlagContribution& b) {
+                     return a.contribution_ms > b.contribution_ms;
+                   });
+
+  // Reduced configuration: only the flags that pull real weight beyond the
+  // measurement noise.
+  for (const FlagContribution& contribution : report.contributions) {
+    if (!contribution.significant) continue;
+    if (contribution.contribution_frac < min_contribution_frac) continue;
+    report.essential_config.set(contribution.id, tuned.get(contribution.id));
+  }
+  report.essential_ms = runner.measure(report.essential_config).objective();
+  return report;
+}
+
+}  // namespace jat

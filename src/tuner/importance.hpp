@@ -1,0 +1,58 @@
+// Post-hoc flag-importance analysis.
+//
+// Given a tuned configuration, attribute its improvement to individual
+// flags by leave-one-out ablation: revert each changed flag to its default
+// and re-measure. Flags whose reversion costs real time carried the win;
+// the (many) hitchhikers that rode along on accepted multi-flag moves show
+// ~zero contribution. This is the analysis behind the paper-style "which
+// flags mattered per benchmark" discussion, and a practical tool: it lets
+// a user shrink a 20-flag tuned command line to the 3 flags that matter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flags/configuration.hpp"
+#include "harness/runner.hpp"
+
+namespace jat {
+
+struct FlagContribution {
+  FlagId id = kInvalidFlag;
+  std::string name;
+  std::string tuned_value;    ///< rendered value in the tuned configuration
+  std::string default_value;  ///< rendered registry default
+  /// Objective when this flag alone is reverted to default, ms.
+  double reverted_ms = 0;
+  /// reverted_ms - tuned_ms: positive = the flag contributes that many ms.
+  double contribution_ms = 0;
+  /// contribution_ms / tuned_ms.
+  double contribution_frac = 0;
+  /// True when the contribution clears the measurement noise (the CI95
+  /// half-widths of both samples). Inert hitchhiker flags show non-zero
+  /// but insignificant contributions because each configuration gets its
+  /// own deterministic noise draw.
+  bool significant = false;
+};
+
+struct ImportanceReport {
+  double tuned_ms = 0;
+  double default_ms = 0;
+  /// One entry per non-default flag, sorted by descending contribution.
+  std::vector<FlagContribution> contributions;
+
+  /// The configuration reduced to flags contributing at least
+  /// `min_contribution_frac`; usually 2-4 flags reproducing nearly the
+  /// whole win.
+  Configuration essential_config;
+  double essential_ms = 0;
+};
+
+/// Runs the leave-one-out analysis through `runner` (one measurement per
+/// changed flag plus two anchors plus one for the reduced configuration).
+/// `min_contribution_frac` controls which flags make the essential config.
+ImportanceReport analyze_importance(BenchmarkRunner& runner,
+                                    const Configuration& tuned,
+                                    double min_contribution_frac = 0.005);
+
+}  // namespace jat

@@ -1,0 +1,63 @@
+// Iterated local search (ParamILS-style): first-improvement local descent
+// from the incumbent, then a perturbation kick (several simultaneous
+// mutations, occasionally structural), accepting the new local optimum if
+// it beats the old one. A standard algorithm-configuration baseline that
+// sits between hill climbing and the GA in exploration strength.
+#include "tuner/algorithms.hpp"
+
+namespace jat {
+
+std::string IteratedLocalSearch::name() const { return "ils"; }
+
+void IteratedLocalSearch::tune(TuningContext& ctx) {
+  ctx.set_phase("ils");
+  Configuration home = ctx.best_config();
+  double home_objective = ctx.best_objective();
+
+  auto local_descent = [&](Configuration start, double start_objective) {
+    Configuration current = std::move(start);
+    double current_objective = start_objective;
+    int failures = 0;
+    while (!ctx.exhausted() && failures < options_.descent_patience) {
+      Configuration candidate = current;
+      ctx.space().mutate(candidate, ctx.rng(), 1,
+                         ctx.rng().chance(0.3) ? 2.0 : 1.0);
+      const double objective = ctx.evaluate(candidate);
+      if (objective < current_objective) {
+        current = std::move(candidate);
+        current_objective = objective;
+        failures = 0;
+      } else {
+        ++failures;
+      }
+    }
+    return std::make_pair(std::move(current), current_objective);
+  };
+
+  // Initial descent from the default-seeded incumbent.
+  std::tie(home, home_objective) = local_descent(home, home_objective);
+
+  while (!ctx.exhausted()) {
+    // Perturbation kick.
+    Configuration kicked = home;
+    if (ctx.rng().chance(options_.structure_kick_probability)) {
+      ctx.space().mutate_structure(kicked, ctx.rng());
+    }
+    ctx.space().mutate(kicked, ctx.rng(), options_.kick_strength, 2.0);
+    const double kicked_objective = ctx.evaluate(kicked);
+    if (ctx.exhausted()) break;
+
+    auto [optimum, optimum_objective] =
+        local_descent(std::move(kicked), kicked_objective);
+    // Better-acceptance: keep the new basin only if it wins.
+    if (optimum_objective < home_objective) {
+      home = std::move(optimum);
+      home_objective = optimum_objective;
+    }
+  }
+}
+
+IteratedLocalSearch::IteratedLocalSearch() : IteratedLocalSearch(Options{}) {}
+IteratedLocalSearch::IteratedLocalSearch(Options options) : options_(options) {}
+
+}  // namespace jat

@@ -1,0 +1,19 @@
+#include "tuner/algorithms.hpp"
+
+namespace jat {
+
+std::string RandomSearch::name() const {
+  return flat_ ? "random-flat" : "random";
+}
+
+void RandomSearch::tune(TuningContext& ctx) {
+  ctx.set_phase("random");
+  while (!ctx.exhausted()) {
+    const Configuration candidate =
+        flat_ ? ctx.space().random_config_flat(ctx.rng(), density_)
+              : ctx.space().random_config(ctx.rng(), density_);
+    ctx.evaluate(candidate);
+  }
+}
+
+}  // namespace jat

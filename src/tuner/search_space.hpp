@@ -1,0 +1,77 @@
+// Search-space operators over configurations.
+//
+// All hierarchy-aware operators (the default) restrict themselves to flags
+// *active* under a configuration's structural choices and mutate structure
+// only through the hierarchy's consistent option groups — so every
+// configuration they produce is startable by construction. The `_flat`
+// variants ignore the hierarchy entirely (every flag independently,
+// including the mutually-exclusive collector selectors); they exist to
+// reproduce the paper's motivation: flat whole-JVM search wastes budget on
+// inert flags and invalid configurations.
+#pragma once
+
+#include <cstddef>
+
+#include "flags/hierarchy.hpp"
+#include "support/rng.hpp"
+
+namespace jat {
+
+class SearchSpace {
+ public:
+  explicit SearchSpace(const FlagHierarchy& hierarchy);
+
+  const FlagHierarchy& hierarchy() const { return *hierarchy_; }
+  const FlagRegistry& registry() const { return hierarchy_->registry(); }
+
+  // ---- single-flag value operators -----------------------------------------
+  /// Uniform random value from the flag's domain (log-uniform for
+  /// log-scaled integers).
+  FlagValue random_value(const FlagSpec& spec, Rng& rng) const;
+
+  /// A local move from `current`: flip / ±gaussian step / log-normal step /
+  /// adjacent enum choice. `scale` widens (>1) or narrows (<1) the step.
+  FlagValue neighbor_value(const FlagSpec& spec, const FlagValue& current,
+                           Rng& rng, double scale = 1.0) const;
+
+  // ---- configuration operators (hierarchy-aware) -----------------------------
+  /// Random structure plus random values for a `density` fraction of the
+  /// active flags (the rest stay at defaults). density=1 is fully random.
+  Configuration random_config(Rng& rng, double density = 1.0) const;
+
+  /// Mutates `flag_count` random active non-structural flags in place.
+  void mutate(Configuration& config, Rng& rng, int flag_count,
+              double scale = 1.0) const;
+
+  /// Switches one structural group to a different option (subtree flags
+  /// keep their current values; newly-activated ones are typically at
+  /// defaults).
+  void mutate_structure(Configuration& config, Rng& rng) const;
+
+  /// Uniform crossover: structural groups then per-flag values are taken
+  /// from either parent.
+  Configuration crossover(const Configuration& a, const Configuration& b,
+                          Rng& rng) const;
+
+  /// Dependency resolution: mechanically fixes fatal cross-flag violations
+  /// (inverted heap bounds, inconsistent thresholds, non-power-of-two G1
+  /// regions). All hierarchy-aware operators call this, so the
+  /// configurations they emit are startable by construction — the
+  /// "resolve dependencies" role of the paper's flag hierarchy. Flat
+  /// operators deliberately skip it.
+  void repair(Configuration& config) const;
+
+  // ---- flat operators (hierarchy ablation) ------------------------------------
+  /// Random values for a `density` fraction of ALL flags, independently —
+  /// including conflicting collector selections.
+  Configuration random_config_flat(Rng& rng, double density = 1.0) const;
+
+  /// Mutates `flag_count` random flags chosen from the full catalog.
+  void mutate_flat(Configuration& config, Rng& rng, int flag_count,
+                   double scale = 1.0) const;
+
+ private:
+  const FlagHierarchy* hierarchy_;
+};
+
+}  // namespace jat

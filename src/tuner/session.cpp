@@ -1,0 +1,87 @@
+#include "tuner/session.hpp"
+
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace jat {
+
+TuningSession::TuningSession(const JvmSimulator& simulator, WorkloadSpec workload,
+                             SessionOptions options)
+    : simulator_(&simulator), workload_(std::move(workload)), options_(options) {}
+
+TuningOutcome TuningSession::run(Tuner& tuner) {
+  RunnerOptions runner_options;
+  runner_options.repetitions = options_.repetitions;
+  runner_options.seed = options_.seed;
+  runner_options.per_run_overhead_s = options_.per_run_overhead_s;
+  runner_options.racing_factor = options_.racing_factor;
+  BenchmarkRunner runner(*simulator_, workload_, runner_options);
+
+  BudgetClock budget(options_.budget);
+  auto db = std::make_shared<ResultDb>();
+  const SearchSpace space(FlagHierarchy::hotspot());
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.eval_threads > 0) {
+    pool = std::make_unique<ThreadPool>(options_.eval_threads);
+  }
+
+  Rng rng(mix64(options_.seed, fnv1a64(tuner.name())));
+  TuningContext ctx(runner, budget, *db, space, rng, pool.get());
+
+  // Baseline: the default configuration, charged to the same budget —
+  // the paper's harness measures it as its first candidate too.
+  ctx.set_phase("default");
+  const Configuration defaults(space.registry());
+  const double default_ms = ctx.evaluate(defaults);
+  if (std::isfinite(default_ms)) {
+    // Abandon candidates 5x slower than the baseline rather than paying
+    // their full run time out of the tuning budget.
+    runner.set_time_limit(SimTime::millis(static_cast<std::int64_t>(default_ms * 5.0)));
+  }
+
+  log_info() << "tuning " << workload_.name << " with " << tuner.name()
+             << " (budget " << options_.budget.to_string() << ", default "
+             << fmt(default_ms, 0) << " ms)";
+  (void)default_ms;
+
+  tuner.tune(ctx);
+
+  // Validation pass: re-measure the incumbent (and the baseline) with fresh
+  // seeds and more repetitions. Reporting the *search* minimum would suffer
+  // the winner's curse — the minimum over hundreds of noisy measurements is
+  // biased low, flattering undirected search.
+  RunnerOptions validation_options = runner_options;
+  validation_options.seed = mix64(options_.seed, fnv1a64("validation"));
+  validation_options.repetitions = std::max(5, options_.repetitions);
+  validation_options.racing_factor = 0.0;  // full repetitions when it counts
+  BenchmarkRunner validator(*simulator_, workload_, validation_options);
+  Configuration best_config = ctx.best_config();
+  const double validated_default = validator.measure(defaults).objective();
+  double validated_best = validator.measure(best_config).objective();
+  if (!(validated_best < validated_default)) {
+    // The apparent winner does not validate: the honest outcome is that
+    // tuning found nothing better than the defaults.
+    best_config = defaults;
+    validated_best = validated_default;
+  }
+
+  TuningOutcome outcome{.workload_name = workload_.name,
+                        .tuner_name = tuner.name(),
+                        .best_config = best_config,
+                        .default_ms = validated_default,
+                        .best_ms = validated_best,
+                        .evaluations = static_cast<std::int64_t>(db->size()),
+                        .runs = runner.runs_executed(),
+                        .cache_hits = runner.cache_hits(),
+                        .budget_spent = budget.spent(),
+                        .db = db};
+
+  log_info() << "  best " << fmt(outcome.best_ms, 0) << " ms ("
+             << format_percent(outcome.improvement_frac()) << " improvement, "
+             << outcome.evaluations << " evals, " << outcome.runs << " runs)";
+  return outcome;
+}
+
+}  // namespace jat

@@ -1,0 +1,82 @@
+// TuningSession: one (workload, tuner, budget) experiment, end to end.
+//
+// This is the library's top-level entry point — the thing bench binaries
+// and examples drive. It measures the default configuration first (the
+// baseline the paper reports improvement against), hands the tuner a
+// context wired to a budget clock and a result log, and packages the
+// outcome.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "jvmsim/engine.hpp"
+#include "tuner/algorithms.hpp"
+#include "tuner/tuner.hpp"
+#include "workloads/workload.hpp"
+
+namespace jat {
+
+struct SessionOptions {
+  /// Tuning-time budget (the paper used 200 minutes per benchmark).
+  SimTime budget = SimTime::minutes(200);
+  /// Timed repetitions per candidate configuration.
+  int repetitions = 3;
+  /// Master seed; the tuner's stream is derived from (seed, tuner name).
+  std::uint64_t seed = 2015;
+  /// Worker threads for batch evaluation (0 = serial). Parallelism changes
+  /// wall-clock only; each run's seed depends only on its configuration.
+  std::size_t eval_threads = 0;
+  /// Simulated per-run harness overhead (JVM spawn etc.), seconds.
+  double per_run_overhead_s = 2.0;
+  /// Racing factor forwarded to the search runner (see RunnerOptions);
+  /// the validation pass always uses full repetitions regardless.
+  double racing_factor = 0.0;
+};
+
+struct TuningOutcome {
+  std::string workload_name;
+  std::string tuner_name;
+  Configuration best_config;
+  double default_ms = 0;  ///< objective of the default configuration
+  double best_ms = 0;     ///< objective of the best configuration found
+
+  /// The paper's headline metric: (default - tuned) / default. Zero when
+  /// the baseline itself failed (no meaningful reference).
+  double improvement_frac() const {
+    if (!(default_ms > 0) || !std::isfinite(default_ms)) return 0.0;
+    return (default_ms - best_ms) / default_ms;
+  }
+  double speedup() const {
+    if (!(best_ms > 0) || !std::isfinite(default_ms)) return 0.0;
+    return default_ms / best_ms;
+  }
+
+  std::int64_t evaluations = 0;  ///< configurations measured (incl. cached)
+  std::int64_t runs = 0;         ///< simulated JVM launches
+  std::int64_t cache_hits = 0;
+  SimTime budget_spent;
+  std::shared_ptr<ResultDb> db;  ///< full evaluation log (trajectories)
+};
+
+class TuningSession {
+ public:
+  TuningSession(const JvmSimulator& simulator, WorkloadSpec workload,
+                SessionOptions options = {});
+
+  /// Runs one tuner with fresh state (budget, cache, log) and returns the
+  /// outcome. Deterministic for fixed options when eval_threads == 0.
+  TuningOutcome run(Tuner& tuner);
+
+  const SessionOptions& session_options() const { return options_; }
+  const WorkloadSpec& workload() const { return workload_; }
+
+ private:
+  const JvmSimulator* simulator_;
+  WorkloadSpec workload_;
+  SessionOptions options_;
+};
+
+}  // namespace jat

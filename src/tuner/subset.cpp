@@ -1,0 +1,75 @@
+// Prior-work baseline: tune only the classic hand-picked flag subset.
+//
+// Pre-2015 JVM-tuning studies (and most practitioners) tuned heap sizes,
+// the young generation, the collector choice, and GC thread counts — and
+// nothing else. This tuner spends the same budget as the whole-JVM tuners
+// but can only move those knobs, which is exactly the comparison the
+// paper's abstract draws.
+#include "tuner/algorithms.hpp"
+
+namespace jat {
+
+SubsetTuner::SubsetTuner()
+    : SubsetTuner(std::vector<std::string>{
+          "MaxHeapSize", "InitialHeapSize", "NewRatio", "SurvivorRatio",
+          "MaxTenuringThreshold", "ParallelGCThreads"}) {}
+
+SubsetTuner::SubsetTuner(std::vector<std::string> flag_names)
+    : flag_names_(std::move(flag_names)) {}
+
+std::string SubsetTuner::name() const { return "subset"; }
+
+void SubsetTuner::tune(TuningContext& ctx) {
+  const FlagHierarchy& hierarchy = ctx.space().hierarchy();
+  const FlagRegistry& registry = hierarchy.registry();
+
+  std::vector<FlagId> subset;
+  subset.reserve(flag_names_.size());
+  for (const auto& name : flag_names_) subset.push_back(registry.require(name));
+
+  // Collector choice is part of the classic subset: try each option.
+  ctx.set_phase("subset:gc");
+  for (const StructuralGroup& group : hierarchy.groups()) {
+    if (group.name != "gc") continue;
+    for (std::size_t option = 0; option < group.options.size(); ++option) {
+      if (ctx.exhausted()) return;
+      Configuration candidate(registry);
+      group.apply(candidate, option);
+      ctx.evaluate(candidate);
+    }
+  }
+
+  // Coordinate descent over the subset, repeated with shrinking steps
+  // until the budget runs out.
+  ctx.set_phase("subset:descent");
+  Configuration current = ctx.best_config();
+  double current_objective = ctx.best_objective();
+  double scale = 1.5;
+  while (!ctx.exhausted()) {
+    bool improved_this_pass = false;
+    for (FlagId id : subset) {
+      if (ctx.exhausted()) return;
+      const FlagSpec& spec = registry.spec(id);
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        if (ctx.exhausted()) return;
+        Configuration candidate = current;
+        const FlagValue value = attempt == 0
+                                    ? ctx.space().random_value(spec, ctx.rng())
+                                    : ctx.space().neighbor_value(
+                                          spec, current.get(id), ctx.rng(), scale);
+        if (value == current.get(id)) continue;
+        candidate.set(id, value);
+        const double objective = ctx.evaluate(candidate);
+        if (objective < current_objective) {
+          current = std::move(candidate);
+          current_objective = objective;
+          improved_this_pass = true;
+        }
+      }
+    }
+    scale = improved_this_pass ? scale : scale * 0.6;
+    if (scale < 0.1) scale = 1.5;  // cycle step sizes rather than stall
+  }
+}
+
+}  // namespace jat

@@ -1,0 +1,150 @@
+#include "tuner/suite_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/units.hpp"
+
+namespace jat {
+
+SuiteRunner::SuiteRunner(const JvmSimulator& simulator,
+                         std::vector<WorkloadSpec> workloads,
+                         RunnerOptions options) {
+  if (workloads.empty()) throw TunerError("SuiteRunner: empty suite");
+  runners_.reserve(workloads.size());
+  for (auto& workload : workloads) {
+    runners_.push_back(
+        std::make_unique<BenchmarkRunner>(simulator, std::move(workload), options));
+  }
+  const Configuration defaults(FlagRegistry::hotspot());
+  default_ms_.reserve(runners_.size());
+  for (auto& runner : runners_) {
+    const Measurement m = runner->measure(defaults);
+    if (!m.valid()) {
+      throw TunerError("SuiteRunner: default configuration fails on " +
+                       runner->workload().name);
+    }
+    default_ms_.push_back(m.objective());
+    // Abandon candidates far slower than this member's baseline.
+    runner->set_time_limit(SimTime::millis(
+        static_cast<std::int64_t>(m.objective() * 5.0)));
+  }
+}
+
+std::vector<double> SuiteRunner::measure_each(const Configuration& config,
+                                              BudgetClock* budget) {
+  std::vector<double> out;
+  out.reserve(runners_.size());
+  for (auto& runner : runners_) {
+    out.push_back(runner->measure(config, budget).objective());
+  }
+  return out;
+}
+
+Measurement SuiteRunner::measure(const Configuration& config,
+                                 BudgetClock* budget) {
+  Measurement m;
+  m.config_fingerprint = config.fingerprint();
+  double log_sum = 0;
+  const auto times = measure_each(config, budget);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (!std::isfinite(times[i])) {
+      m.crashed = true;
+      m.crash_reason = "crashed on " + runners_[i]->workload().name;
+      return m;
+    }
+    log_sum += std::log(times[i] / default_ms_[i]);
+  }
+  const double score =
+      1000.0 * std::exp(log_sum / static_cast<double>(times.size()));
+  m.times_ms = {score};
+  m.summary = summarize(m.times_ms);
+  return m;
+}
+
+SuiteTuningSession::SuiteTuningSession(const JvmSimulator& simulator,
+                                       std::vector<WorkloadSpec> workloads,
+                                       SessionOptions options)
+    : simulator_(&simulator), workloads_(std::move(workloads)), options_(options) {}
+
+SuiteOutcome SuiteTuningSession::run(Tuner& tuner) {
+  RunnerOptions runner_options;
+  runner_options.repetitions = options_.repetitions;
+  runner_options.seed = options_.seed;
+  runner_options.per_run_overhead_s = options_.per_run_overhead_s;
+  SuiteRunner runner(*simulator_, workloads_, runner_options);
+
+  BudgetClock budget(options_.budget);
+  auto db = std::make_shared<ResultDb>();
+  const SearchSpace space(FlagHierarchy::hotspot());
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.eval_threads > 0) {
+    pool = std::make_unique<ThreadPool>(options_.eval_threads);
+  }
+
+  Rng rng(mix64(options_.seed, fnv1a64("suite:" + tuner.name())));
+  TuningContext ctx(runner, budget, *db, space, rng, pool.get());
+
+  ctx.set_phase("default");
+  const Configuration defaults(space.registry());
+  ctx.evaluate(defaults);  // score 1000 by construction
+
+  tuner.tune(ctx);
+
+  // Validation pass with fresh seeds.
+  RunnerOptions validation_options = runner_options;
+  validation_options.seed = mix64(options_.seed, fnv1a64("validation"));
+  validation_options.repetitions = std::max(5, options_.repetitions);
+  SuiteRunner validator(*simulator_, workloads_, validation_options);
+
+  Configuration best_config = ctx.best_config();
+  const auto tuned_each = validator.measure_each(best_config, nullptr);
+
+  SuiteOutcome outcome{.tuner_name = tuner.name(),
+                       .best_config = best_config,
+                       .geomean_ratio = 1.0,
+                       .per_workload_improvement = {},
+                       .workload_names = {},
+                       .evaluations = static_cast<std::int64_t>(db->size()),
+                       .budget_spent = budget.spent(),
+                       .db = db};
+
+  double log_sum = 0;
+  bool any_crash = false;
+  for (std::size_t i = 0; i < tuned_each.size(); ++i) {
+    outcome.workload_names.push_back(validator.workload(i).name);
+    const double base = validator.default_times_ms()[i];
+    if (!std::isfinite(tuned_each[i])) {
+      any_crash = true;
+      outcome.per_workload_improvement.push_back(0.0);
+      continue;
+    }
+    outcome.per_workload_improvement.push_back(1.0 - tuned_each[i] / base);
+    log_sum += std::log(tuned_each[i] / base);
+  }
+  if (any_crash) {
+    // The general configuration must run everywhere; fall back to defaults.
+    outcome.best_config = defaults;
+    outcome.geomean_ratio = 1.0;
+    std::fill(outcome.per_workload_improvement.begin(),
+              outcome.per_workload_improvement.end(), 0.0);
+  } else {
+    outcome.geomean_ratio =
+        std::exp(log_sum / static_cast<double>(tuned_each.size()));
+    if (outcome.geomean_ratio > 1.0) {
+      outcome.best_config = defaults;
+      outcome.geomean_ratio = 1.0;
+      std::fill(outcome.per_workload_improvement.begin(),
+                outcome.per_workload_improvement.end(), 0.0);
+    }
+  }
+
+  log_info() << "suite tuning with " << tuner.name() << ": geomean improvement "
+             << format_percent(outcome.improvement_frac()) << " over "
+             << workloads_.size() << " workloads";
+  return outcome;
+}
+
+}  // namespace jat

@@ -1,0 +1,82 @@
+// "General configuration" tuning: one flag set for a whole suite.
+//
+// The per-benchmark results (T2/T3) tune each program separately; the
+// natural follow-up question — and the practical deployment question — is
+// how much a single configuration tuned for the *suite* can recover.
+// SuiteRunner aggregates per-workload measurements into one objective (the
+// geometric mean of run times normalised to each workload's default), and
+// SuiteTuningSession drives any Tuner against it. bench_t9_general
+// compares the result against per-benchmark tuning.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "harness/evaluator.hpp"
+#include "harness/runner.hpp"
+#include "tuner/session.hpp"
+
+namespace jat {
+
+/// Evaluates a configuration on every workload in a suite. The objective
+/// is 1000 x geomean_i(time_i / default_time_i): 1000 means "exactly the
+/// defaults", lower is better, and a crash on any member crashes the
+/// candidate (a general configuration must work everywhere).
+class SuiteRunner : public Evaluator {
+ public:
+  SuiteRunner(const JvmSimulator& simulator,
+              std::vector<WorkloadSpec> workloads, RunnerOptions options = {});
+
+  Measurement measure(const Configuration& config, BudgetClock* budget) override;
+
+  /// Per-workload default objectives (ms), measured at construction.
+  const std::vector<double>& default_times_ms() const { return default_ms_; }
+
+  /// Per-workload objectives (ms) for a configuration; entries are +inf
+  /// for crashes. Charges the budget like measure().
+  std::vector<double> measure_each(const Configuration& config,
+                                   BudgetClock* budget);
+
+  std::size_t size() const { return runners_.size(); }
+  const WorkloadSpec& workload(std::size_t index) const {
+    return runners_[index]->workload();
+  }
+
+ private:
+  std::vector<std::unique_ptr<BenchmarkRunner>> runners_;
+  std::vector<double> default_ms_;
+};
+
+struct SuiteOutcome {
+  std::string tuner_name;
+  Configuration best_config;
+  /// Geomean of tuned/default across the suite (e.g. 0.85 = 15% better on
+  /// the geometric mean), from the validated re-measurement.
+  double geomean_ratio = 1.0;
+  double improvement_frac() const { return 1.0 - geomean_ratio; }
+  /// Per-workload validated improvements of the general configuration.
+  std::vector<double> per_workload_improvement;
+  std::vector<std::string> workload_names;
+  std::int64_t evaluations = 0;
+  SimTime budget_spent;
+  std::shared_ptr<ResultDb> db;
+};
+
+class SuiteTuningSession {
+ public:
+  SuiteTuningSession(const JvmSimulator& simulator,
+                     std::vector<WorkloadSpec> workloads,
+                     SessionOptions options = {});
+
+  /// Tunes one configuration against the whole suite. The budget covers
+  /// the complete session (a candidate costs the sum of its per-workload
+  /// runs), like tuning against a composite benchmark.
+  SuiteOutcome run(Tuner& tuner);
+
+ private:
+  const JvmSimulator* simulator_;
+  std::vector<WorkloadSpec> workloads_;
+  SessionOptions options_;
+};
+
+}  // namespace jat

@@ -1,0 +1,76 @@
+#include "tuner/tuner.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace jat {
+
+TuningContext::TuningContext(Evaluator& evaluator, BudgetClock& budget,
+                             ResultDb& db, const SearchSpace& space, Rng rng,
+                             ThreadPool* pool)
+    : evaluator_(&evaluator),
+      budget_(&budget),
+      db_(&db),
+      space_(&space),
+      rng_(rng),
+      pool_(pool),
+      best_objective_(std::numeric_limits<double>::infinity()) {}
+
+void TuningContext::set_phase(std::string phase) {
+  std::lock_guard lock(mutex_);
+  phase_ = std::move(phase);
+}
+
+double TuningContext::evaluate(const Configuration& config) {
+  const Measurement m = evaluator_->measure(config, budget_);
+  const double objective = m.objective();
+  std::string phase;
+  {
+    std::lock_guard lock(mutex_);
+    phase = phase_;
+  }
+  db_->record(config.fingerprint(), objective, budget_->spent(),
+              config.render_command_line(), phase);
+  consider(config, objective);
+  return objective;
+}
+
+std::vector<double> TuningContext::evaluate_batch(
+    const std::vector<Configuration>& configs) {
+  std::vector<double> objectives(configs.size(),
+                                 std::numeric_limits<double>::infinity());
+  if (pool_ == nullptr || configs.size() <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      objectives[i] = evaluate(configs[i]);
+    }
+    return objectives;
+  }
+  pool_->parallel_for(configs.size(), [&](std::size_t i) {
+    objectives[i] = evaluate(configs[i]);
+  });
+  return objectives;
+}
+
+Configuration TuningContext::best_config() const {
+  std::lock_guard lock(mutex_);
+  if (!best_config_.has_value()) {
+    throw TunerError("TuningContext: nothing evaluated yet");
+  }
+  return *best_config_;
+}
+
+double TuningContext::best_objective() const {
+  std::lock_guard lock(mutex_);
+  return best_objective_;
+}
+
+void TuningContext::consider(const Configuration& config, double objective) {
+  std::lock_guard lock(mutex_);
+  if (!best_config_.has_value() || objective < best_objective_) {
+    best_config_ = config;
+    best_objective_ = objective;
+  }
+}
+
+}  // namespace jat

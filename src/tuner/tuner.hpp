@@ -1,0 +1,80 @@
+// The tuner interface and the context a tuning session hands to it.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flags/configuration.hpp"
+#include "harness/budget.hpp"
+#include "harness/result_db.hpp"
+#include "harness/evaluator.hpp"
+#include "harness/runner.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "tuner/search_space.hpp"
+
+namespace jat {
+
+/// Everything a tuner needs: evaluation, budget, randomness, and the
+/// incumbent. Evaluations are logged to the ResultDb automatically.
+class TuningContext {
+ public:
+  TuningContext(Evaluator& evaluator, BudgetClock& budget, ResultDb& db,
+                const SearchSpace& space, Rng rng, ThreadPool* pool = nullptr);
+
+  const SearchSpace& space() const { return *space_; }
+  Rng& rng() { return rng_; }
+  BudgetClock& budget() { return *budget_; }
+  ResultDb& db() { return *db_; }
+  Evaluator& evaluator() { return *evaluator_; }
+
+  bool exhausted() const { return budget_->exhausted(); }
+
+  /// Sets the label recorded with subsequent evaluations ("structural",
+  /// "subtree:gc", ...). Purely diagnostic.
+  void set_phase(std::string phase);
+
+  /// Measures, logs, and tracks the incumbent. Returns the objective
+  /// (+inf for crashes).
+  double evaluate(const Configuration& config);
+
+  /// Evaluates a batch, in parallel when a thread pool was provided.
+  /// Result i corresponds to configs[i].
+  std::vector<double> evaluate_batch(const std::vector<Configuration>& configs);
+
+  /// Best configuration seen so far, by value (safe under concurrent
+  /// evaluation). The session seeds this with the default configuration
+  /// before the tuner starts, so it is always callable from tune().
+  Configuration best_config() const;
+  double best_objective() const;
+
+ private:
+  void consider(const Configuration& config, double objective);
+
+  Evaluator* evaluator_;
+  BudgetClock* budget_;
+  ResultDb* db_;
+  const SearchSpace* space_;
+  Rng rng_;
+  ThreadPool* pool_;
+
+  mutable std::mutex mutex_;
+  std::string phase_;
+  std::optional<Configuration> best_config_;
+  double best_objective_;
+};
+
+/// A search strategy. tune() runs until the budget is exhausted (checking
+/// ctx.exhausted() between evaluations) and relies on the context to track
+/// the best configuration.
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  virtual std::string name() const = 0;
+  virtual void tune(TuningContext& ctx) = 0;
+};
+
+}  // namespace jat

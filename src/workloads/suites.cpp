@@ -1,0 +1,430 @@
+#include "workloads/suites.hpp"
+
+#include <stdexcept>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace jat {
+
+namespace {
+
+constexpr double kMiBd = 1024.0 * 1024.0;
+constexpr double kKiBd = 1024.0;
+
+/// Common base for SPECjvm2008 *startup* runs: short, class-loading heavy,
+/// mostly-interpreted unless the JIT warms up quickly.
+WorkloadSpec startup_base(const char* name) {
+  WorkloadSpec w;
+  w.name = name;
+  w.suite = "specjvm2008";
+  w.total_work = 2500;
+  w.startup_work = 900;
+  w.startup_classes = 2500;
+  w.alloc_rate = 180 * kKiBd;
+  w.long_lived_bytes = 24 * kMiBd;
+  w.method_count = 5000;
+  w.app_threads = 2;
+  w.noise_sigma = 0.03;  // startup runs are the noisiest
+  return w;
+}
+
+/// Common base for DaCapo runs: longer, larger live sets, steady state.
+WorkloadSpec dacapo_base(const char* name) {
+  WorkloadSpec w;
+  w.name = name;
+  w.suite = "dacapo";
+  w.total_work = 9000;
+  w.startup_work = 600;
+  w.startup_classes = 4000;
+  w.alloc_rate = 400 * kKiBd;
+  w.long_lived_bytes = 96 * kMiBd;
+  w.method_count = 9000;
+  w.app_threads = 4;
+  w.noise_sigma = 0.02;
+  return w;
+}
+
+std::vector<WorkloadSpec> build_specjvm2008_startup() {
+  std::vector<WorkloadSpec> out;
+
+  {  // javac compiling itself: many classes, large code footprint.
+    WorkloadSpec w = startup_base("startup.compiler.compiler");
+    w.startup_classes = 7000;
+    w.startup_work = 1400;
+    w.method_count = 16000;
+    w.code_size_per_method = 1500;
+    w.alloc_rate = 420 * kKiBd;
+    w.short_lived_frac = 0.82;
+    w.mid_lived_frac = 0.12;
+    out.push_back(w);
+  }
+  {  // javac compiling the sunflow sources: slightly smaller variant.
+    WorkloadSpec w = startup_base("startup.compiler.sunflow");
+    w.startup_classes = 6000;
+    w.startup_work = 1200;
+    w.method_count = 14000;
+    w.code_size_per_method = 1500;
+    w.alloc_rate = 380 * kKiBd;
+    w.short_lived_frac = 0.85;
+    w.mid_lived_frac = 0.10;
+    out.push_back(w);
+  }
+  {  // LZW compression: one tight loop nest, tiny live set.
+    WorkloadSpec w = startup_base("startup.compress");
+    w.method_count = 900;
+    w.hot_zipf_exponent = 1.6;
+    w.alloc_rate = 30 * kKiBd;
+    w.long_lived_bytes = 10 * kMiBd;
+    w.vector_frac = 0.15;
+    w.interpreter_speed = 0.09;
+    out.push_back(w);
+  }
+  {  // AES/DES encryption: intrinsic-friendly kernels.
+    WorkloadSpec w = startup_base("startup.crypto.aes");
+    w.method_count = 1500;
+    w.crypto_frac = 0.60;
+    w.alloc_rate = 60 * kKiBd;
+    w.hot_zipf_exponent = 1.5;
+    w.interpreter_speed = 0.09;
+    out.push_back(w);
+  }
+  {  // RSA: BigInteger-heavy, moderately intrinsic-friendly.
+    WorkloadSpec w = startup_base("startup.crypto.rsa");
+    w.method_count = 1800;
+    w.hot_zipf_exponent = 1.4;
+    w.interpreter_speed = 0.10;
+    w.crypto_frac = 0.35;
+    w.alloc_rate = 220 * kKiBd;
+    w.short_lived_frac = 0.95;
+    w.mid_lived_frac = 0.04;
+    out.push_back(w);
+  }
+  {  // Signing/verification: mixed hashing and BigInteger.
+    WorkloadSpec w = startup_base("startup.crypto.signverify");
+    w.method_count = 2000;
+    w.interpreter_speed = 0.09;
+    w.crypto_frac = 0.45;
+    w.alloc_rate = 150 * kKiBd;
+    out.push_back(w);
+  }
+  {  // MP3 decoding: numeric loops over small buffers.
+    WorkloadSpec w = startup_base("startup.mpegaudio");
+    w.method_count = 1400;
+    w.vector_frac = 0.25;
+    w.alloc_rate = 45 * kKiBd;
+    w.hot_zipf_exponent = 1.5;
+    w.interpreter_speed = 0.08;
+    out.push_back(w);
+  }
+  {  // FFT kernel: extreme hot-spot concentration.
+    WorkloadSpec w = startup_base("startup.scimark.fft");
+    w.method_count = 500;
+    w.hot_zipf_exponent = 1.8;
+    w.vector_frac = 0.45;
+    w.alloc_rate = 25 * kKiBd;
+    w.long_lived_bytes = 16 * kMiBd;
+    w.interpreter_speed = 0.04;
+    out.push_back(w);
+  }
+  {  // LU factorisation: like FFT with a larger working matrix.
+    WorkloadSpec w = startup_base("startup.scimark.lu");
+    w.method_count = 450;
+    w.hot_zipf_exponent = 1.8;
+    w.vector_frac = 0.50;
+    w.alloc_rate = 30 * kKiBd;
+    w.long_lived_bytes = 32 * kMiBd;
+    w.interpreter_speed = 0.04;
+    out.push_back(w);
+  }
+  {  // Monte Carlo: tiny kernel, pure compute.
+    WorkloadSpec w = startup_base("startup.scimark.monte_carlo");
+    w.method_count = 300;
+    w.hot_zipf_exponent = 2.0;
+    w.alloc_rate = 8 * kKiBd;
+    w.long_lived_bytes = 4 * kMiBd;
+    w.interpreter_speed = 0.06;
+    out.push_back(w);
+  }
+  {  // SOR stencil: regular array sweeps.
+    WorkloadSpec w = startup_base("startup.scimark.sor");
+    w.method_count = 350;
+    w.hot_zipf_exponent = 1.9;
+    w.vector_frac = 0.55;
+    w.alloc_rate = 12 * kKiBd;
+    w.long_lived_bytes = 24 * kMiBd;
+    w.interpreter_speed = 0.04;
+    out.push_back(w);
+  }
+  {  // Sparse matmult: indirection-heavy, less vectorisable.
+    WorkloadSpec w = startup_base("startup.scimark.sparse");
+    w.method_count = 400;
+    w.hot_zipf_exponent = 1.8;
+    w.vector_frac = 0.15;
+    w.alloc_rate = 20 * kKiBd;
+    w.long_lived_bytes = 48 * kMiBd;
+    w.interpreter_speed = 0.05;
+    out.push_back(w);
+  }
+  {  // Java serialization: very high allocation of short-lived objects.
+    WorkloadSpec w = startup_base("startup.serial");
+    w.alloc_rate = 700 * kKiBd;
+    w.short_lived_frac = 0.96;
+    w.mid_lived_frac = 0.03;
+    w.method_count = 3000;
+    w.short_lifetime_alloc = 7 * kMiBd;
+    out.push_back(w);
+  }
+  {  // Sunflow ray tracer: multithreaded compute plus allocation.
+    WorkloadSpec w = startup_base("startup.sunflow");
+    w.app_threads = 4;
+    w.alloc_rate = 350 * kKiBd;
+    w.short_lived_frac = 0.94;
+    w.mid_lived_frac = 0.05;
+    w.vector_frac = 0.20;
+    w.method_count = 4000;
+    out.push_back(w);
+  }
+  {  // XSLT transform: allocation-heavy with medium-lived DOM pieces.
+    WorkloadSpec w = startup_base("startup.xml.transform");
+    w.alloc_rate = 500 * kKiBd;
+    w.mid_lived_frac = 0.15;
+    w.short_lived_frac = 0.80;
+    w.method_count = 9000;
+    w.startup_classes = 5500;
+    out.push_back(w);
+  }
+  {  // Schema validation: similar to transform, fewer mid-lived objects.
+    WorkloadSpec w = startup_base("startup.xml.validation");
+    w.alloc_rate = 450 * kKiBd;
+    w.short_lived_frac = 0.86;
+    w.mid_lived_frac = 0.10;
+    w.method_count = 8000;
+    w.startup_classes = 5000;
+    out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<WorkloadSpec> build_dacapo() {
+  std::vector<WorkloadSpec> out;
+
+  {  // AVR microcontroller simulation: many threads, heavy monitor traffic.
+    WorkloadSpec w = dacapo_base("avrora");
+    w.app_threads = 16;
+    w.locks_per_work = 400;
+    w.lock_contention = 0.35;
+    w.lock_migration = 0.45;
+    w.alloc_rate = 60 * kKiBd;
+    w.long_lived_bytes = 32 * kMiBd;
+    w.method_count = 4000;
+    out.push_back(w);
+  }
+  {  // SVG rendering: moderate everything, startup-ish.
+    WorkloadSpec w = dacapo_base("batik");
+    w.total_work = 8000;
+    w.startup_work = 900;
+    w.startup_classes = 5500;
+    w.alloc_rate = 280 * kKiBd;
+    w.long_lived_bytes = 64 * kMiBd;
+    w.mid_lifetime_alloc = 96 * kMiBd;
+    out.push_back(w);
+  }
+  {  // Eclipse IDE workload: huge code base, large mid-lived churn.
+    WorkloadSpec w = dacapo_base("eclipse");
+    w.total_work = 10000;
+    w.startup_work = 2500;
+    w.startup_classes = 14000;
+    w.method_count = 20000;
+    w.code_size_per_method = 1600;
+    w.alloc_rate = 450 * kKiBd;
+    w.mid_lived_frac = 0.14;
+    w.short_lived_frac = 0.80;
+    w.long_lived_bytes = 220 * kMiBd;
+    w.mid_lifetime_alloc = 256 * kMiBd;
+    out.push_back(w);
+  }
+  {  // XSL-FO to PDF: short run, allocation bursts.
+    WorkloadSpec w = dacapo_base("fop");
+    w.total_work = 6000;
+    w.startup_work = 800;
+    w.alloc_rate = 520 * kKiBd;
+    w.short_lived_frac = 0.82;
+    w.mid_lived_frac = 0.12;
+    w.long_lived_bytes = 48 * kMiBd;
+    out.push_back(w);
+  }
+  {  // In-memory JDBC database: very large long-lived set, old-gen bound.
+    WorkloadSpec w = dacapo_base("h2");
+    w.total_work = 14000;
+    w.alloc_rate = 550 * kKiBd;
+    w.short_lived_frac = 0.82;
+    w.mid_lived_frac = 0.14;
+    w.long_lived_bytes = 320 * kMiBd;
+    w.mid_lifetime_alloc = 512 * kMiBd;
+    w.short_lifetime_alloc = 10 * kMiBd;
+    w.app_threads = 8;
+    w.locks_per_work = 60;
+    w.lock_contention = 0.12;
+    out.push_back(w);
+  }
+  {  // Python interpreter on the JVM: enormous method count, megamorphic.
+    WorkloadSpec w = dacapo_base("jython");
+    w.total_work = 11000;
+    w.method_count = 26000;
+    w.code_size_per_method = 1900;
+    w.hot_zipf_exponent = 1.15;  // flat profile: lots of lukewarm methods
+    w.alloc_rate = 480 * kKiBd;
+    w.interpreter_speed = 0.09;
+    w.long_lived_bytes = 96 * kMiBd;
+    out.push_back(w);
+  }
+  {  // Lucene indexing: steady allocation, modest live set.
+    WorkloadSpec w = dacapo_base("luindex");
+    w.total_work = 9000;
+    w.alloc_rate = 380 * kKiBd;
+    w.short_lived_frac = 0.93;
+    w.mid_lived_frac = 0.06;
+    w.long_lived_bytes = 40 * kMiBd;
+    w.app_threads = 1;
+    out.push_back(w);
+  }
+  {  // Lucene search: extreme short-lived allocation across threads.
+    WorkloadSpec w = dacapo_base("lusearch");
+    w.total_work = 12000;
+    w.alloc_rate = 1400 * kKiBd;
+    w.short_lived_frac = 0.975;
+    w.mid_lived_frac = 0.02;
+    w.long_lived_bytes = 32 * kMiBd;
+    w.short_lifetime_alloc = 16 * kMiBd;
+    w.app_threads = 16;
+    w.locks_per_work = 25;
+    w.lock_contention = 0.08;
+    out.push_back(w);
+  }
+  {  // Source-code analysis: pointer-chasing, mid-lived ASTs.
+    WorkloadSpec w = dacapo_base("pmd");
+    w.total_work = 10000;
+    w.alloc_rate = 520 * kKiBd;
+    w.mid_lived_frac = 0.16;
+    w.short_lived_frac = 0.78;
+    w.long_lived_bytes = 112 * kMiBd;
+    w.mid_lifetime_alloc = 128 * kMiBd;
+    w.method_count = 14000;
+    out.push_back(w);
+  }
+  {  // Ray tracer (DaCapo variant): compute-bound, scales with threads.
+    WorkloadSpec w = dacapo_base("sunflow");
+    w.total_work = 9000;
+    w.app_threads = 8;
+    w.alloc_rate = 600 * kKiBd;
+    w.short_lived_frac = 0.96;
+    w.mid_lived_frac = 0.03;
+    w.vector_frac = 0.20;
+    w.long_lived_bytes = 24 * kMiBd;
+    out.push_back(w);
+  }
+  {  // Servlet container: request churn, session state, many threads.
+    WorkloadSpec w = dacapo_base("tomcat");
+    w.total_work = 10000;
+    w.startup_work = 1800;
+    w.startup_classes = 9000;
+    w.app_threads = 12;
+    w.alloc_rate = 420 * kKiBd;
+    w.short_lived_frac = 0.84;
+    w.mid_lived_frac = 0.12;
+    w.long_lived_bytes = 128 * kMiBd;
+    w.mid_lifetime_alloc = 192 * kMiBd;
+    w.locks_per_work = 45;
+    w.lock_contention = 0.10;
+    out.push_back(w);
+  }
+  {  // Daytrader on Geronimo: big enterprise mix, large heap pressure.
+    WorkloadSpec w = dacapo_base("tradebeans");
+    w.total_work = 11000;
+    w.startup_work = 3000;
+    w.startup_classes = 12000;
+    w.method_count = 24000;
+    w.alloc_rate = 600 * kKiBd;
+    w.mid_lived_frac = 0.15;
+    w.short_lived_frac = 0.80;
+    w.long_lived_bytes = 280 * kMiBd;
+    w.mid_lifetime_alloc = 384 * kMiBd;
+    w.app_threads = 8;
+    w.locks_per_work = 50;
+    w.lock_contention = 0.12;
+    out.push_back(w);
+  }
+  {  // XSLT at scale: allocation plus lock contention on shared tables.
+    WorkloadSpec w = dacapo_base("xalan");
+    w.total_work = 12000;
+    w.alloc_rate = 900 * kKiBd;
+    w.short_lived_frac = 0.95;
+    w.mid_lived_frac = 0.04;
+    w.app_threads = 16;
+    w.locks_per_work = 200;
+    w.lock_contention = 0.25;
+    w.lock_migration = 0.35;
+    w.long_lived_bytes = 48 * kMiBd;
+    w.short_lifetime_alloc = 12 * kMiBd;
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& specjvm2008_startup() {
+  static const std::vector<WorkloadSpec> suite = build_specjvm2008_startup();
+  return suite;
+}
+
+const std::vector<WorkloadSpec>& dacapo() {
+  static const std::vector<WorkloadSpec> suite = build_dacapo();
+  return suite;
+}
+
+const WorkloadSpec& find_workload(const std::string& name) {
+  for (const auto& w : specjvm2008_startup()) {
+    if (w.name == name) return w;
+  }
+  for (const auto& w : dacapo()) {
+    if (w.name == name) return w;
+  }
+  throw Error("unknown workload: " + name);
+}
+
+WorkloadSpec make_synthetic(std::uint64_t seed) {
+  Rng rng(seed);
+  WorkloadSpec w;
+  w.name = "synthetic-" + std::to_string(seed);
+  w.suite = "synthetic";
+  w.total_work = rng.uniform(1000.0, 30000.0);
+  w.startup_work = rng.uniform(0.0, 0.3) * w.total_work;
+  w.startup_classes = static_cast<int>(rng.uniform_i64(500, 15000));
+  w.alloc_rate = rng.uniform(10.0, 1200.0) * kKiBd;
+  w.mean_object_size = rng.uniform(24.0, 512.0);
+  w.short_lived_frac = rng.uniform(0.6, 0.97);
+  w.mid_lived_frac = rng.uniform(0.0, 1.0 - w.short_lived_frac);
+  w.long_lived_bytes = rng.uniform(4.0, 400.0) * kMiBd;
+  w.humongous_frac = rng.chance(0.2) ? rng.uniform(0.0, 0.1) : 0.0;
+  w.method_count = static_cast<int>(rng.uniform_i64(300, 30000));
+  w.hot_zipf_exponent = rng.uniform(0.8, 2.0);
+  w.code_size_per_method = rng.uniform(600.0, 2400.0);
+  w.invocations_per_work = rng.uniform(500.0, 4000.0);
+  w.interpreter_speed = rng.uniform(0.04, 0.12);
+  w.c1_speed = rng.uniform(0.4, 0.7);
+  w.jni_frac = rng.uniform(0.0, 0.15);
+  w.crypto_frac = rng.chance(0.2) ? rng.uniform(0.1, 0.6) : 0.0;
+  w.vector_frac = rng.chance(0.3) ? rng.uniform(0.1, 0.5) : 0.0;
+  w.app_threads = static_cast<int>(rng.uniform_i64(1, 16));
+  w.locks_per_work = rng.uniform(0.0, 250.0);
+  w.lock_contention = rng.uniform(0.0, 0.35);
+  w.lock_migration = rng.uniform(0.0, 0.5);
+  w.gc_sensitivity = rng.uniform(0.8, 1.5);
+  w.noise_sigma = rng.uniform(0.005, 0.05);
+  return w;
+}
+
+}  // namespace jat

@@ -1,0 +1,29 @@
+// The two benchmark suites of the paper's evaluation, as workload
+// descriptors, plus synthetic generators for tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace jat {
+
+/// The 16 SPECjvm2008 startup programs the paper tunes (Table T2).
+/// Startup runs are short and front-loaded: class loading, verification and
+/// JIT warmup dominate, so compiler/classload flags carry most improvement.
+const std::vector<WorkloadSpec>& specjvm2008_startup();
+
+/// The 13 DaCapo programs the paper tunes (Table T3). Longer runs with
+/// bigger live sets: heap sizing and collector choice carry most improvement.
+const std::vector<WorkloadSpec>& dacapo();
+
+/// Finds a workload by name across both suites; throws jat::Error when
+/// absent.
+const WorkloadSpec& find_workload(const std::string& name);
+
+/// A deterministic pseudo-random but always-valid workload, for property
+/// tests; the same seed always yields the same spec.
+WorkloadSpec make_synthetic(std::uint64_t seed);
+
+}  // namespace jat

@@ -1,0 +1,61 @@
+#include "workloads/workload.hpp"
+
+namespace jat {
+
+namespace {
+
+void check_fraction(std::vector<std::string>& out, const char* name, double v) {
+  if (v < 0.0 || v > 1.0) {
+    out.push_back(std::string(name) + " must lie in [0,1]");
+  }
+}
+
+void check_positive(std::vector<std::string>& out, const char* name, double v) {
+  if (v <= 0.0) out.push_back(std::string(name) + " must be positive");
+}
+
+}  // namespace
+
+std::vector<std::string> WorkloadSpec::problems() const {
+  std::vector<std::string> out;
+  if (name.empty()) out.push_back("name is empty");
+  check_positive(out, "total_work", total_work);
+  if (startup_work < 0.0) out.push_back("startup_work must be non-negative");
+  if (startup_work > total_work) out.push_back("startup_work exceeds total_work");
+  if (startup_classes < 0) out.push_back("startup_classes must be non-negative");
+  check_positive(out, "alloc_rate", alloc_rate);
+  check_positive(out, "mean_object_size", mean_object_size);
+  check_fraction(out, "short_lived_frac", short_lived_frac);
+  check_fraction(out, "mid_lived_frac", mid_lived_frac);
+  if (short_lived_frac + mid_lived_frac > 1.0) {
+    out.push_back("short_lived_frac + mid_lived_frac exceeds 1");
+  }
+  if (long_lived_bytes < 0.0) out.push_back("long_lived_bytes must be non-negative");
+  check_fraction(out, "humongous_frac", humongous_frac);
+  check_positive(out, "short_lifetime_alloc", short_lifetime_alloc);
+  check_positive(out, "mid_lifetime_alloc", mid_lifetime_alloc);
+  if (method_count <= 0) out.push_back("method_count must be positive");
+  check_positive(out, "hot_zipf_exponent", hot_zipf_exponent);
+  check_positive(out, "code_size_per_method", code_size_per_method);
+  check_positive(out, "invocations_per_work", invocations_per_work);
+  if (interpreter_speed <= 0.0 || interpreter_speed > 1.0) {
+    out.push_back("interpreter_speed must lie in (0,1]");
+  }
+  if (c1_speed < interpreter_speed || c1_speed > 1.0) {
+    out.push_back("c1_speed must lie in [interpreter_speed,1]");
+  }
+  check_fraction(out, "jni_frac", jni_frac);
+  check_fraction(out, "crypto_frac", crypto_frac);
+  check_fraction(out, "vector_frac", vector_frac);
+  if (app_threads <= 0) out.push_back("app_threads must be positive");
+  if (locks_per_work < 0.0) out.push_back("locks_per_work must be non-negative");
+  check_fraction(out, "lock_contention", lock_contention);
+  check_fraction(out, "lock_migration", lock_migration);
+  check_positive(out, "gc_sensitivity", gc_sensitivity);
+  if (noise_sigma < 0.0 || noise_sigma > 0.5) {
+    out.push_back("noise_sigma must lie in [0,0.5]");
+  }
+  return out;
+}
+
+}  // namespace jat

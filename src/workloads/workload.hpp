@@ -1,0 +1,77 @@
+// Workload descriptors: the synthetic stand-ins for SPECjvm2008 / DaCapo.
+//
+// A WorkloadSpec is everything the JVM simulator needs to know about a
+// program: how fast it allocates, how long its objects live, how its
+// execution concentrates into hot methods, how lock-heavy it is, and how
+// much of its time is startup. The per-program values in suites.cpp are
+// chosen so the *diversity* of the real suites is preserved — some
+// programs are GC-bound, some JIT-warmup-bound, some lock-bound — which is
+// what makes per-program tuning profitable in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jat {
+
+struct WorkloadSpec {
+  std::string name;
+  std::string suite;  ///< "specjvm2008", "dacapo", or "synthetic"
+
+  // ---- volume -------------------------------------------------------------
+  /// Total application work, in abstract units: one unit is ~1 ms of ideal
+  /// fully-C2-compiled single-thread execution on the reference machine.
+  double total_work = 10000.0;
+  /// Work executed during the startup phase (class loading & first-touch
+  /// code paths); SPECjvm2008 *startup* runs are dominated by this.
+  double startup_work = 500.0;
+  /// Classes loaded during startup.
+  int startup_classes = 2000;
+
+  // ---- allocation ---------------------------------------------------------
+  double alloc_rate = 200.0 * 1024;  ///< bytes allocated per work unit
+  double mean_object_size = 64.0;    ///< bytes (small objects = cheaper copy)
+  double short_lived_frac = 0.90;    ///< dies before its first collection
+  double mid_lived_frac = 0.08;      ///< survives a few scavenges, then dies
+  /// Steady-state live set (bytes) that eventually promotes and stays.
+  double long_lived_bytes = 32.0 * 1024 * 1024;
+  /// Fraction of allocated bytes in humongous objects (>= half a G1 region).
+  double humongous_frac = 0.0;
+  /// Lifetime of short-lived objects, measured in bytes of subsequent
+  /// allocation: a short-lived object is garbage once this much more has
+  /// been allocated. Small vs eden size => almost nothing survives a
+  /// scavenge; this is what makes young-generation sizing pay off.
+  double short_lifetime_alloc = 6.0 * 1024 * 1024;
+  /// Same for mid-lived objects; they survive ~(lifetime/eden) scavenges,
+  /// so tenuring-threshold tuning trades copy cost against promotion.
+  double mid_lifetime_alloc = 64.0 * 1024 * 1024;
+
+  // ---- code ---------------------------------------------------------------
+  int method_count = 4000;          ///< methods that execute at least once
+  double hot_zipf_exponent = 1.45;  ///< execution concentration across methods
+  double code_size_per_method = 1200.0;  ///< compiled-code bytes (C1 tier)
+  double invocations_per_work = 3500.0;  ///< method calls per work unit
+  double interpreter_speed = 0.07;  ///< relative to C2 = 1.0
+  double c1_speed = 0.68;           ///< relative to C2 = 1.0
+  double jni_frac = 0.02;           ///< work in native code (JIT-insensitive)
+  double crypto_frac = 0.0;         ///< speedable by AES/SHA intrinsics
+  double vector_frac = 0.0;         ///< speedable by SLP/unrolling (scimark)
+
+  // ---- concurrency ---------------------------------------------------------
+  int app_threads = 4;
+  double locks_per_work = 20.0;     ///< monitor operations per work unit
+  double lock_contention = 0.05;    ///< probability a lock op is contended
+  /// Probability an initially thread-affine lock migrates between threads
+  /// (high values make biased locking counter-productive).
+  double lock_migration = 0.05;
+
+  // ---- sensitivity ----------------------------------------------------------
+  double gc_sensitivity = 1.0;  ///< scales how much pauses hurt the metric
+  double noise_sigma = 0.02;    ///< run-to-run lognormal noise (sigma of log)
+
+  /// Basic sanity: fractions in range, positive volumes. Returns a list of
+  /// problems (empty when the spec is usable).
+  std::vector<std::string> problems() const;
+};
+
+}  // namespace jat

@@ -1,0 +1,111 @@
+// Engine coverage for the launcher/tier modes and parallel sessions the
+// core engine tests do not exercise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jvmsim/engine.hpp"
+#include "support/log.hpp"
+#include "support/units.hpp"
+#include "tuner/session.hpp"
+#include "workloads/suites.hpp"
+
+namespace jat {
+namespace {
+
+WorkloadSpec modal_workload() {
+  WorkloadSpec w;
+  w.name = "modes-test";
+  w.total_work = 1500;
+  w.startup_work = 200;
+  w.startup_classes = 1200;
+  w.method_count = 5000;
+  w.noise_sigma = 0.0;
+  return w;
+}
+
+class EngineModes : public ::testing::Test {
+ protected:
+  JvmSimulator sim_;
+  Configuration config_{FlagRegistry::hotspot()};
+
+  RunResult run() {
+    RunResult r = sim_.run(config_, modal_workload(), 1);
+    EXPECT_FALSE(r.crashed) << r.crash_reason;
+    return r;
+  }
+};
+
+TEST_F(EngineModes, ClientVmRunsC1OnlyAndFinishes) {
+  config_.set_enum("VMMode", "client");
+  const RunResult r = run();
+  EXPECT_GT(r.compiles_c1, 0);
+  EXPECT_EQ(r.compiles_c2, 0);
+}
+
+TEST_F(EngineModes, ClientVmSlowerAtPeakThanServer) {
+  const RunResult server = run();
+  config_.set_enum("VMMode", "client");
+  const RunResult client = run();
+  // Client peaks at C1 speed; over a long enough run server wins.
+  EXPECT_GT(client.total_time, server.total_time * 0.9);
+}
+
+TEST_F(EngineModes, TierLadderOrdersRuntimes) {
+  config_.set_int("TieredStopAtLevel", 0);
+  const RunResult interp_like = run();
+  config_.set_int("TieredStopAtLevel", 1);
+  const RunResult c1_only = run();
+  config_.set_int("TieredStopAtLevel", 4);
+  const RunResult full = run();
+  EXPECT_GT(interp_like.total_time, c1_only.total_time);
+  EXPECT_GE(c1_only.total_time, full.total_time * 0.95);
+  EXPECT_EQ(interp_like.compiles_c1 + interp_like.compiles_c2, 0);
+  EXPECT_EQ(c1_only.compiles_c2, 0);
+}
+
+TEST_F(EngineModes, NonTieredServerCompilesOnlyC2) {
+  config_.set_bool("TieredCompilation", false);
+  const RunResult r = run();
+  EXPECT_EQ(r.compiles_c1, 0);
+  EXPECT_GT(r.compiles_c2, 0);
+}
+
+TEST_F(EngineModes, CompileAllForcesForegroundCompilation) {
+  config_.set_enum("ExecutionMode", "comp");
+  const JvmParams p = decode_params(config_);
+  EXPECT_FALSE(p.jit.background);
+  EXPECT_TRUE(p.jit.compile_all);
+}
+
+TEST_F(EngineModes, SerialCollectorCompletesSuiteWorkload) {
+  config_.set_bool("UseParallelGC", false);
+  config_.set_bool("UseSerialGC", true);
+  const RunResult r = run();
+  EXPECT_GT(r.young_gc_count, 0);
+}
+
+TEST_F(EngineModes, FrequentForcedSafepointsCostTime) {
+  const RunResult relaxed = run();
+  config_.set_int("GuaranteedSafepointInterval", 1);  // 1 ms: pathological
+  const RunResult hammered = run();
+  EXPECT_GT(hammered.total_time, relaxed.total_time);
+}
+
+TEST_F(EngineModes, ParallelHierarchicalSessionProducesValidOutcome) {
+  set_log_level(LogLevel::kWarn);
+  SessionOptions options;
+  options.budget = SimTime::minutes(25);
+  options.repetitions = 2;
+  options.eval_threads = 4;
+  WorkloadSpec w = modal_workload();
+  w.noise_sigma = 0.01;
+  TuningSession session(sim_, w, options);
+  HierarchicalTuner tuner;
+  const TuningOutcome outcome = session.run(tuner);
+  EXPECT_TRUE(std::isfinite(outcome.best_ms));
+  EXPECT_LE(outcome.best_ms, outcome.default_ms);
+}
+
+}  // namespace
+}  // namespace jat

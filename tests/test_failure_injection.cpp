@@ -1,0 +1,163 @@
+// Failure injection: tuners must survive a hostile evaluator — random
+// measurement crashes (flaky benchmark harness), universal failure, and
+// pathological noise — without violating their contracts (budget
+// accounting, finite incumbents when any finite result exists, termination).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "harness/evaluator.hpp"
+#include "support/log.hpp"
+#include "tuner/algorithms.hpp"
+#include "tuner/session.hpp"
+#include "workloads/suites.hpp"
+
+namespace jat {
+namespace {
+
+/// Wraps a real runner and fails a deterministic pseudo-random fraction of
+/// measurements, like a benchmark harness with infrastructure flakes.
+class FlakyEvaluator : public Evaluator {
+ public:
+  FlakyEvaluator(Evaluator& inner, double failure_rate, std::uint64_t salt)
+      : inner_(&inner), failure_rate_(failure_rate), salt_(salt) {}
+
+  Measurement measure(const Configuration& config, BudgetClock* budget) override {
+    // Deterministic per-configuration flakiness.
+    Rng rng(mix64(config.fingerprint(), salt_));
+    if (rng.chance(failure_rate_)) {
+      if (budget != nullptr) budget->charge(SimTime::seconds(3));
+      Measurement m;
+      m.config_fingerprint = config.fingerprint();
+      m.crashed = true;
+      m.crash_reason = "injected harness failure";
+      ++failures_;
+      return m;
+    }
+    return inner_->measure(config, budget);
+  }
+
+  int failures() const { return failures_; }
+
+ private:
+  Evaluator* inner_;
+  double failure_rate_;
+  std::uint64_t salt_;
+  int failures_ = 0;
+};
+
+/// An evaluator where everything fails.
+class BrokenEvaluator : public Evaluator {
+ public:
+  Measurement measure(const Configuration& config, BudgetClock* budget) override {
+    if (budget != nullptr) budget->charge(SimTime::seconds(5));
+    Measurement m;
+    m.config_fingerprint = config.fingerprint();
+    m.crashed = true;
+    m.crash_reason = "broken harness";
+    return m;
+  }
+};
+
+WorkloadSpec tiny() {
+  WorkloadSpec w;
+  w.name = "fi-test";
+  w.total_work = 300;
+  w.startup_work = 60;
+  w.startup_classes = 800;
+  w.noise_sigma = 0.01;
+  return w;
+}
+
+class FailureInjection : public ::testing::Test {
+ protected:
+  FailureInjection() { set_log_level(LogLevel::kOff); }
+  JvmSimulator sim_;
+  WorkloadSpec workload_ = tiny();
+
+  /// Drives a tuner through a context built on the given evaluator.
+  double drive(Tuner& tuner, Evaluator& evaluator, SimTime budget_total) {
+    BudgetClock budget(budget_total);
+    ResultDb db;
+    const SearchSpace space(FlagHierarchy::hotspot());
+    TuningContext ctx(evaluator, budget, db, space, Rng(3));
+    ctx.set_phase("default");
+    ctx.evaluate(Configuration(space.registry()));
+    tuner.tune(ctx);
+    EXPECT_GT(db.size(), 0u);
+    // Budget never silently ignored: the tuner stopped near exhaustion.
+    EXPECT_TRUE(budget.exhausted());
+    return ctx.best_objective();
+  }
+};
+
+TEST_F(FailureInjection, TunersSurviveThirtyPercentFlakiness) {
+  BenchmarkRunner runner(sim_, workload_);
+  FlakyEvaluator flaky(runner, 0.30, 99);
+  HierarchicalTuner hier;
+  const double best = drive(hier, flaky, SimTime::minutes(15));
+  EXPECT_TRUE(std::isfinite(best));
+  EXPECT_GT(flaky.failures(), 0);
+}
+
+TEST_F(FailureInjection, EveryAlgorithmTerminatesUnderFlakiness) {
+  BenchmarkRunner runner(sim_, workload_);
+  std::vector<std::unique_ptr<Tuner>> tuners;
+  tuners.push_back(std::make_unique<RandomSearch>(0.15));
+  tuners.push_back(std::make_unique<HillClimber>());
+  tuners.push_back(std::make_unique<SimulatedAnnealing>());
+  tuners.push_back(std::make_unique<GeneticTuner>());
+  tuners.push_back(std::make_unique<BanditEnsemble>());
+  tuners.push_back(std::make_unique<IteratedLocalSearch>());
+  tuners.push_back(std::make_unique<SubsetTuner>());
+  for (auto& tuner : tuners) {
+    FlakyEvaluator flaky(runner, 0.40, 7);
+    const double best = drive(*tuner, flaky, SimTime::minutes(6));
+    EXPECT_TRUE(std::isfinite(best)) << tuner->name();
+  }
+}
+
+TEST_F(FailureInjection, TotalHarnessFailureStillTerminates) {
+  BrokenEvaluator broken;
+  HierarchicalTuner tuner;
+  BudgetClock budget(SimTime::minutes(5));
+  ResultDb db;
+  const SearchSpace space(FlagHierarchy::hotspot());
+  TuningContext ctx(broken, budget, db, space, Rng(1));
+  ctx.set_phase("default");
+  ctx.evaluate(Configuration(space.registry()));
+  tuner.tune(ctx);  // must not hang or throw
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_TRUE(std::isinf(ctx.best_objective()));
+  // The incumbent is still retrievable (the crashed default).
+  EXPECT_NO_THROW((void)ctx.best_config());
+}
+
+TEST_F(FailureInjection, FlakyFailuresStillChargeTheBudget) {
+  BenchmarkRunner runner(sim_, workload_);
+  FlakyEvaluator flaky(runner, 1.0, 5);  // all injected failures
+  BudgetClock budget(SimTime::minutes(1));
+  const Measurement m = flaky.measure(
+      Configuration(FlagRegistry::hotspot()), &budget);
+  EXPECT_TRUE(m.crashed);
+  EXPECT_GT(budget.spent(), SimTime::zero());
+}
+
+TEST_F(FailureInjection, ExtremeNoiseDoesNotBreakValidation) {
+  WorkloadSpec noisy = workload_;
+  noisy.noise_sigma = 0.4;
+  SessionOptions options;
+  options.budget = SimTime::minutes(10);
+  options.repetitions = 3;
+  TuningSession session(sim_, noisy, options);
+  HillClimber tuner;
+  const TuningOutcome outcome = session.run(tuner);
+  // Validation clamps to the baseline: never a negative improvement.
+  EXPECT_GE(outcome.improvement_frac(), 0.0);
+  EXPECT_TRUE(std::isfinite(outcome.best_ms));
+}
+
+}  // namespace
+}  // namespace jat

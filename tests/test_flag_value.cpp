@@ -1,0 +1,65 @@
+#include "flags/flag_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace jat {
+namespace {
+
+TEST(FlagValue, DefaultIsFalseBool) {
+  FlagValue v;
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_FALSE(v.as_bool());
+}
+
+TEST(FlagValue, TypedAccessors) {
+  EXPECT_TRUE(FlagValue(true).as_bool());
+  EXPECT_EQ(FlagValue(std::int64_t{42}).as_int(), 42);
+  EXPECT_DOUBLE_EQ(FlagValue(2.5).as_double(), 2.5);
+  EXPECT_EQ(FlagValue(std::string("server")).as_string(), "server");
+}
+
+TEST(FlagValue, IntReadableAsDouble) {
+  // Thresholds are often compared against fractional derived quantities.
+  EXPECT_DOUBLE_EQ(FlagValue(std::int64_t{7}).as_double(), 7.0);
+}
+
+TEST(FlagValue, WrongAlternativeThrows) {
+  EXPECT_THROW(FlagValue(std::int64_t{1}).as_bool(), FlagError);
+  EXPECT_THROW(FlagValue(true).as_int(), FlagError);
+  EXPECT_THROW(FlagValue(true).as_double(), FlagError);
+  EXPECT_THROW(FlagValue(2.0).as_string(), FlagError);
+}
+
+TEST(FlagValue, Equality) {
+  EXPECT_EQ(FlagValue(true), FlagValue(true));
+  EXPECT_NE(FlagValue(true), FlagValue(false));
+  EXPECT_NE(FlagValue(true), FlagValue(std::int64_t{1}));
+  EXPECT_EQ(FlagValue(std::string("a")), FlagValue(std::string("a")));
+}
+
+TEST(FlagValue, RenderPlain) {
+  EXPECT_EQ(FlagValue(true).render(), "true");
+  EXPECT_EQ(FlagValue(false).render(), "false");
+  EXPECT_EQ(FlagValue(std::int64_t{12345}).render(), "12345");
+  EXPECT_EQ(FlagValue(std::string("mixed")).render(), "mixed");
+  EXPECT_EQ(FlagValue(0.5).render(), "0.5");
+}
+
+TEST(FlagValue, RenderAsSize) {
+  EXPECT_EQ(FlagValue(std::int64_t{512 * 1024 * 1024}).render(/*as_size=*/true),
+            "512m");
+  EXPECT_EQ(FlagValue(std::int64_t{1000}).render(/*as_size=*/true), "1000");
+}
+
+TEST(FlagType, Names) {
+  EXPECT_STREQ(to_string(FlagType::kBool), "bool");
+  EXPECT_STREQ(to_string(FlagType::kInt), "int");
+  EXPECT_STREQ(to_string(FlagType::kSize), "size");
+  EXPECT_STREQ(to_string(FlagType::kDouble), "double");
+  EXPECT_STREQ(to_string(FlagType::kEnum), "enum");
+}
+
+}  // namespace
+}  // namespace jat

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "harness/budget.hpp"
+#include "harness/result_db.hpp"
+#include "harness/runner.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/suites.hpp"
+
+namespace jat {
+namespace {
+
+WorkloadSpec tiny_workload() {
+  WorkloadSpec w;
+  w.name = "tiny";
+  w.total_work = 300;
+  w.startup_work = 50;
+  w.startup_classes = 500;
+  w.noise_sigma = 0.02;
+  return w;
+}
+
+// ---- BudgetClock -----------------------------------------------------------
+
+TEST(BudgetClock, ChargesAndExpires) {
+  BudgetClock budget(SimTime::seconds(10));
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.remaining(), SimTime::seconds(10));
+  budget.charge(SimTime::seconds(4));
+  EXPECT_EQ(budget.spent(), SimTime::seconds(4));
+  EXPECT_EQ(budget.remaining(), SimTime::seconds(6));
+  budget.charge(SimTime::seconds(7));
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.remaining(), SimTime::zero());
+}
+
+TEST(BudgetClock, ConcurrentChargesAllLand) {
+  BudgetClock budget(SimTime::seconds(1000000));
+  ThreadPool pool(8);
+  pool.parallel_for(1000, [&](std::size_t) { budget.charge(SimTime::millis(3)); });
+  EXPECT_EQ(budget.spent(), SimTime::seconds(3));
+}
+
+// ---- ResultDb ---------------------------------------------------------------
+
+TEST(ResultDb, RecordsInOrder) {
+  ResultDb db;
+  EXPECT_EQ(db.record(1, 100.0, SimTime::seconds(1), "-XX:+A", "p1"), 0);
+  EXPECT_EQ(db.record(2, 90.0, SimTime::seconds(2), "-XX:+B", "p2"), 1);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.get(1).command_line, "-XX:+B");
+  EXPECT_EQ(db.get(0).phase, "p1");
+}
+
+TEST(ResultDb, BestObjectiveIgnoresNothing) {
+  ResultDb db;
+  EXPECT_TRUE(std::isinf(db.best_objective()));
+  db.record(1, 100.0, SimTime::seconds(1), "");
+  db.record(2, std::numeric_limits<double>::infinity(), SimTime::seconds(2), "");
+  db.record(3, 80.0, SimTime::seconds(3), "");
+  EXPECT_EQ(db.best_objective(), 80.0);
+}
+
+TEST(ResultDb, TrajectoryIsMonotoneStaircase) {
+  ResultDb db;
+  db.record(1, 100.0, SimTime::seconds(1), "");
+  db.record(2, 120.0, SimTime::seconds(2), "");  // worse: no step
+  db.record(3, 90.0, SimTime::seconds(3), "");
+  db.record(4, 85.0, SimTime::seconds(4), "");
+  const auto trajectory = db.best_trajectory();
+  ASSERT_EQ(trajectory.size(), 3u);
+  EXPECT_EQ(trajectory[0].second, 100.0);
+  EXPECT_EQ(trajectory[1].second, 90.0);
+  EXPECT_EQ(trajectory[2].second, 85.0);
+  for (std::size_t i = 1; i < trajectory.size(); ++i) {
+    EXPECT_LT(trajectory[i].second, trajectory[i - 1].second);
+    EXPECT_GT(trajectory[i].first, trajectory[i - 1].first);
+  }
+}
+
+TEST(ResultDb, BestAtInterpolatesStaircase) {
+  ResultDb db;
+  db.record(1, 100.0, SimTime::seconds(10), "");
+  db.record(2, 70.0, SimTime::seconds(20), "");
+  EXPECT_TRUE(std::isinf(db.best_at(SimTime::seconds(5))));
+  EXPECT_EQ(db.best_at(SimTime::seconds(10)), 100.0);
+  EXPECT_EQ(db.best_at(SimTime::seconds(15)), 100.0);
+  EXPECT_EQ(db.best_at(SimTime::seconds(25)), 70.0);
+}
+
+TEST(ResultDb, SaveCsvWritesAllRows) {
+  ResultDb db;
+  db.record(1, 100.0, SimTime::seconds(1), "-XX:+UseG1GC", "structural");
+  const std::string path = ::testing::TempDir() + "/resultdb_test.csv";
+  ASSERT_TRUE(db.save_csv(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("UseG1GC"), std::string::npos);
+  EXPECT_NE(content.find("structural"), std::string::npos);
+}
+
+// ---- BenchmarkRunner ---------------------------------------------------------
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  JvmSimulator sim_;
+  Configuration config_{FlagRegistry::hotspot()};
+};
+
+TEST_F(RunnerTest, MeasuresRequestedRepetitions) {
+  RunnerOptions options;
+  options.repetitions = 4;
+  BenchmarkRunner runner(sim_, tiny_workload(), options);
+  const Measurement m = runner.measure(config_);
+  ASSERT_TRUE(m.valid());
+  EXPECT_EQ(m.times_ms.size(), 4u);
+  EXPECT_EQ(runner.runs_executed(), 4);
+  EXPECT_GT(m.objective(), 0.0);
+}
+
+TEST_F(RunnerTest, CachesByFingerprint) {
+  BenchmarkRunner runner(sim_, tiny_workload());
+  const Measurement a = runner.measure(config_);
+  const Measurement b = runner.measure(config_);
+  EXPECT_EQ(runner.cache_hits(), 1);
+  EXPECT_EQ(runner.runs_executed(), 3);  // only the first measurement ran
+  EXPECT_EQ(a.objective(), b.objective());
+}
+
+TEST_F(RunnerTest, MeasurementsAreReproducible) {
+  BenchmarkRunner r1(sim_, tiny_workload());
+  BenchmarkRunner r2(sim_, tiny_workload());
+  EXPECT_EQ(r1.measure(config_).objective(), r2.measure(config_).objective());
+}
+
+TEST_F(RunnerTest, BudgetChargedPerRun) {
+  BudgetClock budget(SimTime::minutes(1000));
+  BenchmarkRunner runner(sim_, tiny_workload());
+  const Measurement m = runner.measure(config_, &budget);
+  ASSERT_TRUE(m.valid());
+  // 3 reps, each charged run time + 2 s overhead.
+  EXPECT_GT(budget.spent(), SimTime::seconds(6));
+}
+
+TEST_F(RunnerTest, CacheHitChargesOnlyLookupCost) {
+  BudgetClock budget(SimTime::minutes(1000));
+  BenchmarkRunner runner(sim_, tiny_workload());
+  runner.measure(config_, &budget);
+  const SimTime after_first = budget.spent();
+  runner.measure(config_, &budget);
+  EXPECT_LT(budget.spent() - after_first, SimTime::seconds(1));
+}
+
+TEST_F(RunnerTest, CrashedConfigFailsFast) {
+  config_.set_bool("UseG1GC", true);  // conflicting collectors
+  BenchmarkRunner runner(sim_, tiny_workload());
+  const Measurement m = runner.measure(config_);
+  EXPECT_TRUE(m.crashed);
+  EXPECT_TRUE(std::isinf(m.objective()));
+  EXPECT_EQ(runner.runs_executed(), 1);  // fail-fast
+}
+
+TEST_F(RunnerTest, TimeLimitAbandonsSlowRuns) {
+  BenchmarkRunner runner(sim_, tiny_workload());
+  const Measurement normal = runner.measure(config_);
+  ASSERT_TRUE(normal.valid());
+
+  BenchmarkRunner strict(sim_, tiny_workload());
+  strict.set_time_limit(SimTime::millis(1));
+  BudgetClock budget(SimTime::minutes(1000));
+  const Measurement m = strict.measure(config_, &budget);
+  EXPECT_TRUE(m.crashed);
+  EXPECT_NE(m.crash_reason.find("timeout"), std::string::npos);
+  // Charged roughly the limit + overhead, not the full run time.
+  EXPECT_LT(budget.spent(), SimTime::seconds(5));
+}
+
+TEST_F(RunnerTest, ConcurrentMeasurementsAreSafe) {
+  BenchmarkRunner runner(sim_, tiny_workload());
+  ThreadPool pool(8);
+  std::vector<double> objectives(32);
+  pool.parallel_for(objectives.size(), [&](std::size_t i) {
+    Configuration c(FlagRegistry::hotspot());
+    c.set_int("NewRatio", static_cast<std::int64_t>(1 + i % 8));
+    objectives[i] = runner.measure(c).objective();
+  });
+  for (double o : objectives) EXPECT_TRUE(std::isfinite(o));
+  // 8 distinct configs; concurrent first-misses may duplicate a measurement
+  // but results stay consistent and bounded.
+  EXPECT_GE(runner.runs_executed(), 8 * 3);
+  EXPECT_LE(runner.runs_executed(), 32 * 3);
+}
+
+}  // namespace
+}  // namespace jat

@@ -1,0 +1,217 @@
+#include "flags/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace jat {
+namespace {
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  const FlagHierarchy& h_ = FlagHierarchy::hotspot();
+  const FlagRegistry& reg_ = FlagRegistry::hotspot();
+
+  bool active_contains(const Configuration& c, const char* name) const {
+    const auto active = h_.active_flags(c);
+    return std::binary_search(active.begin(), active.end(), reg_.require(name));
+  }
+};
+
+TEST_F(HierarchyTest, CoversEveryFlagExactlyOnce) {
+  // Constructor verification would have thrown otherwise; double-check the
+  // arithmetic: structural + union-of-active-over-all-structures == all.
+  EXPECT_EQ(h_.structural_flags().size(), 8u);
+}
+
+TEST_F(HierarchyTest, StructuralFlagsNeverAppearInActiveSet) {
+  const Configuration c(reg_);
+  const auto active = h_.active_flags(c);
+  for (FlagId id : h_.structural_flags()) {
+    EXPECT_FALSE(std::binary_search(active.begin(), active.end(), id))
+        << reg_.spec(id).name;
+  }
+}
+
+TEST_F(HierarchyTest, DefaultActivatesParallelSubtreeOnly) {
+  const Configuration c(reg_);
+  EXPECT_TRUE(active_contains(c, "GCTimeLimit"));  // gc.parallel
+  EXPECT_FALSE(active_contains(c, "CMSInitiatingOccupancyFraction"));
+  EXPECT_FALSE(active_contains(c, "G1HeapRegionSize"));
+}
+
+TEST_F(HierarchyTest, CmsSubtreeActivatesUnderCms) {
+  Configuration c(reg_);
+  c.set_bool("UseParallelGC", false);
+  c.set_bool("UseConcMarkSweepGC", true);
+  EXPECT_TRUE(active_contains(c, "CMSInitiatingOccupancyFraction"));
+  EXPECT_TRUE(active_contains(c, "CMSScheduleRemarkEdenPenetration"));
+  EXPECT_FALSE(active_contains(c, "GCTimeLimit"));
+  EXPECT_FALSE(active_contains(c, "G1ReservePercent"));
+}
+
+TEST_F(HierarchyTest, G1SubtreeActivatesUnderG1) {
+  Configuration c(reg_);
+  c.set_bool("UseParallelGC", false);
+  c.set_bool("UseG1GC", true);
+  EXPECT_TRUE(active_contains(c, "InitiatingHeapOccupancyPercent"));
+  EXPECT_FALSE(active_contains(c, "CMSPrecleaningEnabled"));
+}
+
+TEST_F(HierarchyTest, InterpreterOnlyDeactivatesCompilerBranch) {
+  Configuration c(reg_);
+  c.set_enum("ExecutionMode", "int");
+  EXPECT_FALSE(active_contains(c, "CompileThreshold"));
+  EXPECT_FALSE(active_contains(c, "DoEscapeAnalysis"));
+  EXPECT_TRUE(active_contains(c, "MaxHeapSize"));  // memory still active
+}
+
+TEST_F(HierarchyTest, ClientVmDeactivatesC2) {
+  Configuration c(reg_);
+  c.set_enum("VMMode", "client");
+  EXPECT_FALSE(active_contains(c, "DoEscapeAnalysis"));      // c2
+  EXPECT_TRUE(active_contains(c, "C1OptimizeVirtualCallProfiling"));
+}
+
+TEST_F(HierarchyTest, NonTieredServerKeepsC2DropsC1) {
+  Configuration c(reg_);
+  c.set_bool("TieredCompilation", false);
+  EXPECT_TRUE(active_contains(c, "DoEscapeAnalysis"));
+  EXPECT_FALSE(active_contains(c, "C1UpdateMethodData"));
+}
+
+TEST_F(HierarchyTest, ActiveNodesListsGatedPath) {
+  Configuration c(reg_);
+  auto nodes = h_.active_nodes(c);
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), "gc.parallel"), nodes.end());
+  EXPECT_EQ(std::find(nodes.begin(), nodes.end(), "gc.cms"), nodes.end());
+  EXPECT_EQ(nodes.front(), "jvm");
+}
+
+TEST_F(HierarchyTest, StructuralCombinationCount) {
+  // gc(4) x jit(2) x vm(2) x exec(3)
+  EXPECT_EQ(h_.structural_combinations(), 48u);
+}
+
+TEST_F(HierarchyTest, ActiveSpaceSmallerThanFlatSpace) {
+  const Configuration c(reg_);
+  const double active = h_.log10_active_space(c);
+  const double flat = reg_.log10_space_size_all();
+  EXPECT_LT(active, flat);
+  // The pruning is substantial: tens of orders of magnitude.
+  EXPECT_GT(flat - active, 30.0);
+}
+
+TEST_F(HierarchyTest, GroupsApplyProducesConsistentCollectors) {
+  for (const auto& group : h_.groups()) {
+    if (group.name != "gc") continue;
+    for (std::size_t i = 0; i < group.options.size(); ++i) {
+      Configuration c(reg_);
+      group.apply(c, i);
+      int selected = 0;
+      for (const char* name :
+           {"UseSerialGC", "UseParallelGC", "UseConcMarkSweepGC", "UseG1GC"}) {
+        selected += c.get_bool(name) ? 1 : 0;
+      }
+      EXPECT_EQ(selected, 1) << group.options[i].name;
+      EXPECT_EQ(group.current_option(c), static_cast<int>(i));
+    }
+  }
+}
+
+TEST_F(HierarchyTest, CurrentOptionDetectsDefaults) {
+  const Configuration c(reg_);
+  for (const auto& group : h_.groups()) {
+    const int option = group.current_option(c);
+    ASSERT_GE(option, 0) << group.name;
+    if (group.name == "gc") {
+      EXPECT_EQ(group.options[static_cast<std::size_t>(option)].name, "parallel");
+    }
+    if (group.name == "jit") {
+      EXPECT_EQ(group.options[static_cast<std::size_t>(option)].name, "tiered");
+    }
+  }
+}
+
+TEST_F(HierarchyTest, CurrentOptionMinusOneForMixedState) {
+  Configuration c(reg_);
+  c.set_bool("UseG1GC", true);  // conflicting with UseParallelGC=true
+  for (const auto& group : h_.groups()) {
+    if (group.name == "gc") {
+      EXPECT_EQ(group.current_option(c), -1);
+    }
+  }
+}
+
+TEST(HierarchyConstruction, RejectsDoubleCoverage) {
+  std::vector<FlagSpec> specs;
+  FlagSpec a;
+  a.name = "A";
+  a.type = FlagType::kBool;
+  a.default_value = FlagValue(false);
+  specs.push_back(a);
+  const FlagRegistry reg(specs);
+
+  HierarchyNode root;
+  root.name = "root";
+  root.flags = {0};
+  root.children.push_back({"child", {}, {0}, {}});  // flag 0 twice
+
+  EXPECT_THROW(FlagHierarchy(reg, root, {}), FlagError);
+}
+
+TEST(HierarchyConstruction, RejectsMissingCoverage) {
+  std::vector<FlagSpec> specs;
+  for (const char* name : {"A", "B"}) {
+    FlagSpec s;
+    s.name = name;
+    s.type = FlagType::kBool;
+    s.default_value = FlagValue(false);
+    specs.push_back(s);
+  }
+  const FlagRegistry reg(specs);
+  HierarchyNode root;
+  root.name = "root";
+  root.flags = {0};  // flag 1 uncovered
+  EXPECT_THROW(FlagHierarchy(reg, root, {}), FlagError);
+}
+
+// Property: across every structural combination, the active set is valid
+// and gates are consistent with the structural choice.
+class StructuralSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructuralSweep, ActiveSetConsistentForCombo) {
+  const FlagHierarchy& h = FlagHierarchy::hotspot();
+  const FlagRegistry& reg = FlagRegistry::hotspot();
+  const int combo = GetParam();
+  Configuration c(reg);
+  int rest = combo;
+  for (const auto& group : h.groups()) {
+    group.apply(c, static_cast<std::size_t>(rest) % group.options.size());
+    rest /= static_cast<int>(group.options.size());
+  }
+  const auto active = h.active_flags(c);
+  // Sorted, unique, within range, and disjoint from structural flags.
+  EXPECT_TRUE(std::is_sorted(active.begin(), active.end()));
+  EXPECT_EQ(std::adjacent_find(active.begin(), active.end()), active.end());
+  for (FlagId id : active) EXPECT_LT(id, reg.size());
+  for (FlagId id : h.structural_flags()) {
+    EXPECT_FALSE(std::binary_search(active.begin(), active.end(), id));
+  }
+  // At most one GC subtree is active.
+  const auto nodes = h.active_nodes(c);
+  int gc_subtrees = 0;
+  for (const auto& name : nodes) {
+    gc_subtrees += (name == "gc.serial" || name == "gc.parallel" ||
+                    name == "gc.cms" || name == "gc.g1");
+  }
+  EXPECT_LE(gc_subtrees, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, StructuralSweep, ::testing::Range(0, 48));
+
+}  // namespace
+}  // namespace jat

@@ -1,0 +1,104 @@
+#include "tuner/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/units.hpp"
+#include "workloads/suites.hpp"
+
+namespace jat {
+namespace {
+
+class ImportanceTest : public ::testing::Test {
+ protected:
+  JvmSimulator sim_;
+  const FlagRegistry& reg_ = FlagRegistry::hotspot();
+
+  WorkloadSpec workload() {
+    WorkloadSpec w;
+    w.name = "importance-test";
+    w.total_work = 600;
+    w.startup_work = 100;
+    w.startup_classes = 1500;
+    w.method_count = 4000;
+    w.noise_sigma = 0.01;
+    return w;
+  }
+
+  BenchmarkRunner make_runner() {
+    RunnerOptions options;
+    options.repetitions = 5;
+    return BenchmarkRunner(sim_, workload(), options);
+  }
+};
+
+TEST_F(ImportanceTest, AttributesImpactfulFlagAndDismissesInertOne) {
+  Configuration tuned(reg_);
+  tuned.set_int("Tier3InvocationThreshold", 10);  // real startup win
+  tuned.set_bool("PrintGCDetails", true);         // inert hitchhiker
+
+  BenchmarkRunner runner = make_runner();
+  const ImportanceReport report = analyze_importance(runner, tuned);
+
+  ASSERT_EQ(report.contributions.size(), 2u);
+  const auto& top = report.contributions.front();
+  EXPECT_EQ(top.name, "Tier3InvocationThreshold");
+  EXPECT_GT(top.contribution_frac, 0.05);
+  EXPECT_TRUE(top.significant);
+
+  const auto& bottom = report.contributions.back();
+  EXPECT_EQ(bottom.name, "PrintGCDetails");
+  EXPECT_FALSE(bottom.significant);
+}
+
+TEST_F(ImportanceTest, EssentialConfigKeepsOnlySignificantFlags) {
+  Configuration tuned(reg_);
+  tuned.set_int("Tier3InvocationThreshold", 10);
+  tuned.set_bool("PrintGCDetails", true);
+  tuned.set_bool("TraceClassLoading", true);
+
+  BenchmarkRunner runner = make_runner();
+  const ImportanceReport report = analyze_importance(runner, tuned);
+
+  const auto kept = report.essential_config.changed_flags();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(reg_.spec(kept[0]).name, "Tier3InvocationThreshold");
+  // The essential configuration reproduces (almost) the tuned objective.
+  EXPECT_LT(report.essential_ms, report.default_ms);
+  EXPECT_NEAR(report.essential_ms, report.tuned_ms, report.tuned_ms * 0.05);
+}
+
+TEST_F(ImportanceTest, EmptyDiffYieldsEmptyReport) {
+  BenchmarkRunner runner = make_runner();
+  const ImportanceReport report =
+      analyze_importance(runner, Configuration(reg_));
+  EXPECT_TRUE(report.contributions.empty());
+  EXPECT_TRUE(report.essential_config.changed_flags().empty());
+  EXPECT_EQ(report.tuned_ms, report.default_ms);
+}
+
+TEST_F(ImportanceTest, ContributionsSortedDescending) {
+  Configuration tuned(reg_);
+  tuned.set_int("Tier3InvocationThreshold", 10);
+  tuned.set_int("Tier4InvocationThreshold", 300);
+  tuned.set_bool("PrintGC", true);
+
+  BenchmarkRunner runner = make_runner();
+  const ImportanceReport report = analyze_importance(runner, tuned);
+  for (std::size_t i = 1; i < report.contributions.size(); ++i) {
+    EXPECT_GE(report.contributions[i - 1].contribution_ms,
+              report.contributions[i].contribution_ms);
+  }
+}
+
+TEST_F(ImportanceTest, ValuesRenderedForHumans) {
+  Configuration tuned(reg_);
+  tuned.set_int("MaxHeapSize", 2 * kGiB);
+  BenchmarkRunner runner = make_runner();
+  const ImportanceReport report = analyze_importance(runner, tuned);
+  ASSERT_EQ(report.contributions.size(), 1u);
+  EXPECT_EQ(report.contributions[0].tuned_value, "2g");
+  EXPECT_EQ(report.contributions[0].default_value, "1g");
+}
+
+}  // namespace
+}  // namespace jat

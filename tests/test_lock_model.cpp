@@ -1,0 +1,114 @@
+#include "jvmsim/lock_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jat {
+namespace {
+
+WorkloadSpec locky_workload() {
+  WorkloadSpec w;
+  w.name = "locks";
+  w.locks_per_work = 100;
+  w.lock_contention = 0.2;
+  w.lock_migration = 0.1;
+  return w;
+}
+
+RuntimeParams default_runtime() {
+  RuntimeParams r;
+  r.biased_locking = true;
+  r.biased_delay = SimTime::millis(4000);
+  r.pre_block_spin = 10;
+  return r;
+}
+
+TEST(LockModel, NoLocksNoOverhead) {
+  WorkloadSpec w = locky_workload();
+  w.locks_per_work = 0;
+  LockModel model(default_runtime(), JitParams{}, w);
+  EXPECT_EQ(model.overhead_us_per_work(SimTime::seconds(10)), 0.0);
+}
+
+TEST(LockModel, OverheadScalesWithLockRate) {
+  WorkloadSpec w1 = locky_workload();
+  WorkloadSpec w2 = locky_workload();
+  w2.locks_per_work = 200;
+  LockModel m1(default_runtime(), JitParams{}, w1);
+  LockModel m2(default_runtime(), JitParams{}, w2);
+  const SimTime t = SimTime::seconds(10);
+  EXPECT_NEAR(m2.overhead_us_per_work(t), 2.0 * m1.overhead_us_per_work(t), 1e-9);
+}
+
+TEST(LockModel, BiasedLockingEngagesAfterDelay) {
+  WorkloadSpec w = locky_workload();
+  w.lock_migration = 0.0;  // biasing is a pure win without migration
+  LockModel model(default_runtime(), JitParams{}, w);
+  const double before = model.overhead_us_per_work(SimTime::millis(100));
+  const double after = model.overhead_us_per_work(SimTime::millis(10000));
+  EXPECT_GT(before, after);
+}
+
+TEST(LockModel, BiasedLockingHurtsUnderHeavyMigration) {
+  WorkloadSpec w = locky_workload();
+  w.lock_migration = 0.6;
+  RuntimeParams biased = default_runtime();
+  RuntimeParams unbiased = default_runtime();
+  unbiased.biased_locking = false;
+  LockModel with(biased, JitParams{}, w);
+  LockModel without(unbiased, JitParams{}, w);
+  const SimTime late = SimTime::seconds(100);
+  EXPECT_GT(with.overhead_us_per_work(late), without.overhead_us_per_work(late));
+}
+
+TEST(LockModel, BiasedLockingHelpsThreadAffineLocks) {
+  WorkloadSpec w = locky_workload();
+  w.lock_migration = 0.0;
+  RuntimeParams biased = default_runtime();
+  RuntimeParams unbiased = default_runtime();
+  unbiased.biased_locking = false;
+  LockModel with(biased, JitParams{}, w);
+  LockModel without(unbiased, JitParams{}, w);
+  const SimTime late = SimTime::seconds(100);
+  EXPECT_LT(with.overhead_us_per_work(late), without.overhead_us_per_work(late));
+}
+
+TEST(LockModel, SpinHasInteriorOptimum) {
+  // More spinning first reduces contended cost, then burns more than it
+  // saves: the curve must not be monotone.
+  WorkloadSpec w = locky_workload();
+  w.lock_contention = 0.5;
+  auto overhead_at = [&](int spin) {
+    RuntimeParams r = default_runtime();
+    r.pre_block_spin = spin;
+    return LockModel(r, JitParams{}, w).overhead_us_per_work(SimTime::seconds(100));
+  };
+  const double none = overhead_at(0);
+  const double some = overhead_at(30);
+  const double lots = overhead_at(100);
+  EXPECT_LT(some, none);
+  EXPECT_GT(lots, some);
+}
+
+TEST(LockModel, LockElisionReducesOverhead) {
+  JitParams eliding;
+  eliding.lock_elision = 0.5;
+  LockModel plain(default_runtime(), JitParams{}, locky_workload());
+  LockModel elided(default_runtime(), eliding, locky_workload());
+  const SimTime t = SimTime::seconds(100);
+  EXPECT_NEAR(elided.overhead_us_per_work(t), 0.5 * plain.overhead_us_per_work(t),
+              1e-9);
+}
+
+TEST(LockModel, ContentionRaisesOverhead) {
+  WorkloadSpec calm = locky_workload();
+  calm.lock_contention = 0.0;
+  WorkloadSpec hot = locky_workload();
+  hot.lock_contention = 0.5;
+  LockModel m_calm(default_runtime(), JitParams{}, calm);
+  LockModel m_hot(default_runtime(), JitParams{}, hot);
+  const SimTime t = SimTime::seconds(100);
+  EXPECT_GT(m_hot.overhead_us_per_work(t), m_calm.overhead_us_per_work(t));
+}
+
+}  // namespace
+}  // namespace jat

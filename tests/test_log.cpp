@@ -1,0 +1,42 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jat {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() : saved_(log_level()) {}
+  ~LogTest() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, BuildersComposeWithoutCrashing) {
+  set_log_level(LogLevel::kOff);  // silence: exercising the path only
+  log_debug() << "debug " << 42;
+  log_info() << "info " << 3.14 << " mixed " << std::string("types");
+  log_warn() << "warn";
+  log_error() << "error";
+}
+
+TEST_F(LogTest, FilteredLevelsAreCheap) {
+  set_log_level(LogLevel::kError);
+  // A million filtered messages must be effectively free (no IO).
+  for (int i = 0; i < 1000; ++i) {
+    log_line(LogLevel::kDebug, "dropped");
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace jat

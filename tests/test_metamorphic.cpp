@@ -1,0 +1,139 @@
+// Metamorphic properties of the simulator: directional invariants that
+// must hold for ANY workload, checked across both suites. These are the
+// tests that pin the model's physics down — each one is a relation the
+// real HotSpot also obeys.
+#include <gtest/gtest.h>
+
+#include "jvmsim/engine.hpp"
+#include "support/units.hpp"
+#include "workloads/suites.hpp"
+
+namespace jat {
+namespace {
+
+/// Noise off so comparisons are exact.
+WorkloadSpec quiet(WorkloadSpec w) {
+  w.noise_sigma = 0.0;
+  return w;
+}
+
+std::vector<std::string> all_suite_names() {
+  std::vector<std::string> names;
+  for (const auto& w : specjvm2008_startup()) names.push_back(w.name);
+  for (const auto& w : dacapo()) names.push_back(w.name);
+  return names;
+}
+
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+class MetamorphicSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  JvmSimulator sim_;
+  WorkloadSpec workload_ = quiet(find_workload(GetParam()));
+
+  RunResult run(const Configuration& config) {
+    RunResult r = sim_.run(config, workload_, /*seed=*/5);
+    EXPECT_FALSE(r.crashed) << workload_.name << ": " << r.crash_reason;
+    return r;
+  }
+};
+
+TEST_P(MetamorphicSweep, InterpreterOnlyIsNeverFaster) {
+  Configuration mixed(FlagRegistry::hotspot());
+  Configuration interpreted(FlagRegistry::hotspot());
+  interpreted.set_enum("ExecutionMode", "int");
+  EXPECT_GE(run(interpreted).total_time, run(mixed).total_time);
+}
+
+TEST_P(MetamorphicSweep, BiggerHeapNeverCollectsMoreOften) {
+  // "small" is the 1 GiB default (every suite live set fits it); shrinking
+  // further would genuinely OOM the big-heap DaCapo programs.
+  Configuration small(FlagRegistry::hotspot());
+  Configuration big(FlagRegistry::hotspot());
+  big.set_int("MaxHeapSize", 4 * kGiB);
+  EXPECT_LE(run(big).young_gc_count + run(big).full_gc_count,
+            run(small).young_gc_count + run(small).full_gc_count + 1);
+}
+
+TEST_P(MetamorphicSweep, SkippingVerificationNeverSlowsClassLoad) {
+  Configuration verified(FlagRegistry::hotspot());
+  Configuration unverified(FlagRegistry::hotspot());
+  unverified.set_bool("BytecodeVerificationRemote", false);
+  EXPECT_LE(run(unverified).class_load_time, run(verified).class_load_time);
+}
+
+TEST_P(MetamorphicSweep, UncompressedOopsNeverShrinkTheFootprint) {
+  Configuration compressed(FlagRegistry::hotspot());
+  Configuration wide(FlagRegistry::hotspot());
+  wide.set_bool("UseCompressedOops", false);
+  EXPECT_GE(run(wide).peak_heap_used, run(compressed).peak_heap_used);
+}
+
+TEST_P(MetamorphicSweep, SingleGcThreadNeverPausesLess) {
+  Configuration one(FlagRegistry::hotspot());
+  one.set_int("ParallelGCThreads", 1);
+  Configuration eight(FlagRegistry::hotspot());
+  eight.set_int("ParallelGCThreads", 8);
+  const RunResult r_one = run(one);
+  const RunResult r_eight = run(eight);
+  if (r_one.young_gc_count == 0) return;  // nothing to compare
+  // Per-pause comparison (counts may differ slightly via adaptive sizing).
+  const double per_one =
+      r_one.gc_pause_total.as_millis() /
+      static_cast<double>(r_one.young_gc_count + r_one.full_gc_count);
+  const double per_eight =
+      r_eight.gc_pause_total.as_millis() /
+      static_cast<double>(std::max<std::int64_t>(
+          1, r_eight.young_gc_count + r_eight.full_gc_count));
+  EXPECT_GE(per_one, per_eight * 0.999);
+}
+
+TEST_P(MetamorphicSweep, MoreWorkTakesLonger) {
+  WorkloadSpec longer = workload_;
+  longer.total_work *= 1.5;
+  const Configuration defaults(FlagRegistry::hotspot());
+  const RunResult base = sim_.run(defaults, workload_, 5);
+  const RunResult more = sim_.run(defaults, longer, 5);
+  ASSERT_FALSE(base.crashed);
+  ASSERT_FALSE(more.crashed);
+  EXPECT_GT(more.total_time, base.total_time);
+}
+
+TEST_P(MetamorphicSweep, HigherAllocationNeverCollectsLess) {
+  WorkloadSpec heavy = workload_;
+  heavy.alloc_rate *= 2.0;
+  const Configuration defaults(FlagRegistry::hotspot());
+  const RunResult base = sim_.run(defaults, workload_, 5);
+  const RunResult more = sim_.run(defaults, heavy, 5);
+  ASSERT_FALSE(base.crashed);
+  ASSERT_FALSE(more.crashed);
+  EXPECT_GE(more.young_gc_count, base.young_gc_count);
+}
+
+TEST_P(MetamorphicSweep, DisablingTlabNeverSpeedsAllocationHeavyCode) {
+  Configuration with_tlab(FlagRegistry::hotspot());
+  Configuration without(FlagRegistry::hotspot());
+  without.set_bool("UseTLAB", false);
+  EXPECT_GE(run(without).total_time, run(with_tlab).total_time);
+}
+
+TEST_P(MetamorphicSweep, CodeCacheStarvationNeverHelps) {
+  Configuration normal(FlagRegistry::hotspot());
+  Configuration starved(FlagRegistry::hotspot());
+  starved.set_int("ReservedCodeCacheSize", 4 * kMiB);
+  starved.set_int("InitialCodeCacheSize", kMiB);
+  starved.set_bool("UseCodeCacheFlushing", false);
+  EXPECT_GE(run(starved).total_time * 1.0001, run(normal).total_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, MetamorphicSweep,
+                         ::testing::ValuesIn(all_suite_names()),
+                         [](const auto& info) { return sanitize(info.param); });
+
+}  // namespace
+}  // namespace jat

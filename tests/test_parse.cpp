@@ -1,0 +1,177 @@
+#include "flags/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "flags/hierarchy.hpp"
+#include "support/rng.hpp"
+
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace jat {
+namespace {
+
+class ParseTest : public ::testing::Test {
+ protected:
+  const FlagRegistry& reg_ = FlagRegistry::hotspot();
+  Configuration config_{FlagRegistry::hotspot()};
+};
+
+TEST_F(ParseTest, BooleanPlusMinusSyntax) {
+  apply_option(config_, "-XX:+UseG1GC");
+  EXPECT_TRUE(config_.get_bool("UseG1GC"));
+  apply_option(config_, "-XX:-UseParallelGC");
+  EXPECT_FALSE(config_.get_bool("UseParallelGC"));
+}
+
+TEST_F(ParseTest, AssignmentSyntaxForEveryType) {
+  apply_option(config_, "-XX:NewRatio=5");
+  EXPECT_EQ(config_.get_int("NewRatio"), 5);
+  apply_option(config_, "-XX:MaxHeapSize=512m");
+  EXPECT_EQ(config_.get_int("MaxHeapSize"), 512 * kMiB);
+  apply_option(config_, "-XX:CMSSmallCoalSurplusPercent=1.5");
+  EXPECT_DOUBLE_EQ(config_.get_double("CMSSmallCoalSurplusPercent"), 1.5);
+  apply_option(config_, "-XX:VMMode=client");
+  EXPECT_EQ(config_.get_enum("VMMode"), "client");
+  apply_option(config_, "-XX:UseBiasedLocking=false");
+  EXPECT_FALSE(config_.get_bool("UseBiasedLocking"));
+}
+
+TEST_F(ParseTest, LauncherAliases) {
+  apply_option(config_, "-client");
+  EXPECT_EQ(config_.get_enum("VMMode"), "client");
+  apply_option(config_, "-Xint");
+  EXPECT_EQ(config_.get_enum("ExecutionMode"), "int");
+  apply_option(config_, "-Xmx2g");
+  EXPECT_EQ(config_.get_int("MaxHeapSize"), 2 * kGiB);
+  apply_option(config_, "-Xms256m");
+  EXPECT_EQ(config_.get_int("InitialHeapSize"), 256 * kMiB);
+  apply_option(config_, "-Xmn128m");
+  EXPECT_EQ(config_.get_int("NewSize"), 128 * kMiB);
+  EXPECT_EQ(config_.get_int("MaxNewSize"), 128 * kMiB);
+  apply_option(config_, "-Xss2048k");
+  EXPECT_EQ(config_.get_int("ThreadStackSize"), 2048);
+  apply_option(config_, "-Xbatch");
+  EXPECT_FALSE(config_.get_bool("BackgroundCompilation"));
+  apply_option(config_, "-Xverify:none");
+  EXPECT_FALSE(config_.get_bool("BytecodeVerificationRemote"));
+  apply_option(config_, "-Xshare:off");
+  EXPECT_FALSE(config_.get_bool("UseSharedSpaces"));
+}
+
+TEST_F(ParseTest, RejectsMalformedOptions) {
+  EXPECT_THROW(apply_option(config_, "-XX:"), FlagError);
+  EXPECT_THROW(apply_option(config_, "-XX:NoSuchFlag=1"), FlagError);
+  EXPECT_THROW(apply_option(config_, "-XX:+MaxHeapSize"), FlagError);
+  EXPECT_THROW(apply_option(config_, "-XX:NewRatio"), FlagError);
+  EXPECT_THROW(apply_option(config_, "-XX:NewRatio=abc"), FlagError);
+  EXPECT_THROW(apply_option(config_, "-XX:UseG1GC=maybe"), FlagError);
+  EXPECT_THROW(apply_option(config_, "--weird"), FlagError);
+  EXPECT_THROW(apply_option(config_, "-XX:VMMode=turbo"), FlagError);
+}
+
+TEST_F(ParseTest, RejectsOutOfDomainValues) {
+  EXPECT_THROW(apply_option(config_, "-XX:MaxTenuringThreshold=99"), FlagError);
+}
+
+TEST_F(ParseTest, TokenizerSplitsOnWhitespace) {
+  const auto tokens = tokenize_command_line("  -XX:+UseG1GC\t-Xmx2g \n -server ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "-XX:+UseG1GC");
+  EXPECT_EQ(tokens[2], "-server");
+}
+
+TEST_F(ParseTest, ParseCommandLineRoundTripsRender) {
+  Configuration original(reg_);
+  original.set_bool("UseG1GC", true);
+  original.set_bool("UseParallelGC", false);
+  original.set_int("MaxHeapSize", 2 * kGiB);
+  original.set_int("NewRatio", 4);
+  original.set_enum("ExecutionMode", "comp");
+  original.set_int("Tier3InvocationThreshold", 50);
+
+  const Configuration parsed =
+      parse_command_line(reg_, original.render_command_line());
+  EXPECT_EQ(parsed, original);
+  EXPECT_EQ(parsed.fingerprint(), original.fingerprint());
+}
+
+TEST_F(ParseTest, EmptyCommandLineYieldsDefaults) {
+  const Configuration parsed = parse_command_line(reg_, "   ");
+  EXPECT_TRUE(parsed.changed_flags().empty());
+}
+
+TEST_F(ParseTest, SaveAndLoadConfigurationFile) {
+  Configuration original(reg_);
+  original.set_bool("UseConcMarkSweepGC", true);
+  original.set_bool("UseParNewGC", true);
+  original.set_bool("UseParallelGC", false);
+  original.set_int("CMSInitiatingOccupancyFraction", 55);
+
+  const std::string path = ::testing::TempDir() + "/jat_config_test.flags";
+  ASSERT_TRUE(save_configuration(original, path));
+  const Configuration loaded = load_configuration(reg_, path);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST_F(ParseTest, LoadIgnoresCommentsAndBlankLines) {
+  const std::string path = ::testing::TempDir() + "/jat_config_comments.flags";
+  {
+    std::ofstream out(path);
+    out << "# a tuned config\n\n-XX:+UseSerialGC  # inline comment\n"
+        << "-XX:-UseParallelGC\n";
+  }
+  const Configuration loaded = load_configuration(reg_, path);
+  EXPECT_TRUE(loaded.get_bool("UseSerialGC"));
+  EXPECT_FALSE(loaded.get_bool("UseParallelGC"));
+}
+
+TEST_F(ParseTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_configuration(reg_, "/nonexistent/path.flags"), Error);
+}
+
+// Property: render -> parse round-trips for random configurations.
+class ParseRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParseRoundTrip, RandomConfigurationsRoundTrip) {
+  const FlagRegistry& reg = FlagRegistry::hotspot();
+  // Use search-space sampling to build arbitrary-but-valid configurations.
+  const FlagHierarchy& h = FlagHierarchy::hotspot();
+  Rng rng(GetParam());
+  Configuration original(reg);
+  for (const auto& group : h.groups()) {
+    group.apply(original, rng.next_below(group.options.size()));
+  }
+  for (int i = 0; i < 40; ++i) {
+    const FlagId id = static_cast<FlagId>(rng.next_below(reg.size()));
+    const FlagSpec& spec = reg.spec(id);
+    switch (spec.type) {
+      case FlagType::kBool:
+        original.set(id, FlagValue(rng.chance(0.5)));
+        break;
+      case FlagType::kInt:
+      case FlagType::kSize:
+        original.set(id, FlagValue(rng.uniform_i64(spec.int_domain.lo,
+                                                   spec.int_domain.hi)));
+        break;
+      case FlagType::kDouble:
+        original.set(id, FlagValue(rng.uniform(spec.double_domain.lo,
+                                               spec.double_domain.hi)));
+        break;
+      case FlagType::kEnum:
+        original.set(id, FlagValue(spec.choices[rng.next_below(spec.choices.size())]));
+        break;
+    }
+  }
+  const Configuration parsed =
+      parse_command_line(reg, original.render_command_line());
+  EXPECT_EQ(parsed, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace jat

@@ -1,0 +1,228 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace jat {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformI64InclusiveEndpoints) {
+  Rng rng(3);
+  bool lo_seen = false;
+  bool hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_i64(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= v == -2;
+    hi_seen |= v == 2;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformI64DegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_i64(5, 5), 5);
+  EXPECT_EQ(rng.uniform_i64(9, 2), 9);  // inverted => lo
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.15);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(13);
+  std::vector<double> sample;
+  for (int i = 0; i < 10001; ++i) sample.push_back(rng.lognormal_median(5.0, 0.3));
+  std::nth_element(sample.begin(), sample.begin() + 5000, sample.end());
+  EXPECT_NEAR(sample[5000], 5.0, 0.2);
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(21);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, WeightedIndexEmpty) {
+  Rng rng(1);
+  EXPECT_EQ(rng.weighted_index({}), 0u);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(1);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.weighted_index({0.0, 0.0, 0.0}));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, WeightedIndexProportional) {
+  Rng rng(23);
+  int counts[3] = {0, 0, 0};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index({1.0, 2.0, 7.0})];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(Rng, WeightedIndexIgnoresNegativeWeights) {
+  Rng rng(29);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(rng.weighted_index({-5.0, 0.0, 1.0}), 2u);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += parent.next_u64() == child.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitByKeyIsDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Rng ca = a.split("gc");
+  Rng cb = b.split("gc");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, SplitByDifferentKeysDiffer) {
+  Rng a(42);
+  Rng b(42);
+  Rng ca = a.split("gc");
+  Rng cb = b.split("jit");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += ca.next_u64() == cb.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Fnv1a64, KnownValues) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_EQ(fnv1a64("MaxHeapSize"), fnv1a64("MaxHeapSize"));
+}
+
+TEST(Mix64, MixesBothArguments) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), 0u);
+  EXPECT_EQ(mix64(7, 9), mix64(7, 9));
+}
+
+// Property sweep: every seed yields in-range uniform values.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, BasicInvariantsHoldForSeed) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const std::int64_t v = rng.uniform_i64(-100, 100);
+    EXPECT_GE(v, -100);
+    EXPECT_LE(v, 100);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 2ull, 42ull, 1337ull,
+                                           0xffffffffffffffffull,
+                                           0x123456789abcdefull));
+
+}  // namespace
+}  // namespace jat

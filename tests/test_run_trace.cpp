@@ -1,0 +1,131 @@
+#include "jvmsim/run_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jvmsim/engine.hpp"
+#include "support/units.hpp"
+#include "workloads/suites.hpp"
+
+namespace jat {
+namespace {
+
+WorkloadSpec churny() {
+  WorkloadSpec w;
+  w.name = "trace-test";
+  w.total_work = 2000;
+  w.startup_work = 200;
+  w.startup_classes = 1000;
+  w.alloc_rate = 1200 * 1024;
+  w.noise_sigma = 0.0;
+  return w;
+}
+
+TEST(RunTrace, DisabledByDefault) {
+  JvmSimulator sim;
+  const RunResult r = sim.run(Configuration(FlagRegistry::hotspot()), churny(), 1);
+  EXPECT_EQ(r.trace, nullptr);
+}
+
+TEST(RunTrace, RecordsOneEventPerCollection) {
+  SimOptions options;
+  options.collect_trace = true;
+  JvmSimulator sim(options);
+  const RunResult r = sim.run(Configuration(FlagRegistry::hotspot()), churny(), 1);
+  ASSERT_NE(r.trace, nullptr);
+  ASSERT_FALSE(r.trace->gc_events.empty());
+
+  std::int64_t young = 0;
+  std::int64_t full = 0;
+  for (const GcEvent& event : r.trace->gc_events) {
+    young += event.kind == GcEventKind::kYoung;
+    full += event.kind == GcEventKind::kFull ||
+            event.kind == GcEventKind::kConcurrentFailure;
+  }
+  EXPECT_EQ(young, r.young_gc_count);
+  // Metaspace-threshold full collections happen before the main loop and
+  // are not traced, so the trace's full count is a lower bound.
+  EXPECT_LE(full, r.full_gc_count);
+}
+
+TEST(RunTrace, TimestampsMonotoneAndWithinRun) {
+  SimOptions options;
+  options.collect_trace = true;
+  JvmSimulator sim(options);
+  const RunResult r = sim.run(Configuration(FlagRegistry::hotspot()), churny(), 1);
+  ASSERT_NE(r.trace, nullptr);
+  SimTime last;
+  for (const GcEvent& event : r.trace->gc_events) {
+    EXPECT_GE(event.at, last);
+    last = event.at;
+    EXPECT_GT(event.pause, SimTime::zero());
+    EXPECT_GE(event.heap_used_after, 0);
+    EXPECT_LE(event.heap_used_after, r.heap_capacity);
+    EXPECT_GT(event.young_size, 0);
+  }
+}
+
+TEST(RunTrace, CmsRunsRecordConcurrentMarkers) {
+  Configuration config(FlagRegistry::hotspot());
+  config.set_bool("UseParallelGC", false);
+  config.set_bool("UseConcMarkSweepGC", true);
+  config.set_bool("UseParNewGC", true);
+  config.set_int("MaxHeapSize", 192 * kMiB);
+
+  WorkloadSpec w = churny();
+  w.total_work = 4000;
+  w.mid_lived_frac = 0.15;
+  w.short_lived_frac = 0.7;
+  w.mid_lifetime_alloc = 48.0 * 1024 * 1024;
+  w.long_lived_bytes = 40.0 * 1024 * 1024;
+
+  SimOptions options;
+  options.collect_trace = true;
+  JvmSimulator sim(options);
+  const RunResult r = sim.run(config, w, 1);
+  ASSERT_FALSE(r.crashed) << r.crash_reason;
+  ASSERT_NE(r.trace, nullptr);
+  bool start_seen = false;
+  bool end_seen = false;
+  for (const GcEvent& event : r.trace->gc_events) {
+    start_seen |= event.kind == GcEventKind::kConcurrentStart;
+    end_seen |= event.kind == GcEventKind::kConcurrentEnd;
+  }
+  EXPECT_TRUE(start_seen);
+  EXPECT_TRUE(end_seen);
+}
+
+TEST(RunTrace, RenderProducesHotspotFlavouredLine) {
+  GcEvent event;
+  event.at = SimTime::seconds(1.234);
+  event.kind = GcEventKind::kYoung;
+  event.pause = SimTime::millis(5);
+  event.heap_used_after = 64 * 1024 * 1024;
+  const std::string line = RunTrace::render(event, 1024 * 1024 * 1024);
+  EXPECT_NE(line.find("1.234"), std::string::npos);
+  EXPECT_NE(line.find("GC (Allocation Failure)"), std::string::npos);
+  EXPECT_NE(line.find("65536K"), std::string::npos);
+  EXPECT_NE(line.find("1048576K"), std::string::npos);
+  EXPECT_NE(line.find("0.0050 secs"), std::string::npos);
+}
+
+TEST(RunTrace, PauseSumMatchesAggregateForThroughputCollector) {
+  SimOptions options;
+  options.collect_trace = true;
+  JvmSimulator sim(options);
+  const RunResult r = sim.run(Configuration(FlagRegistry::hotspot()), churny(), 1);
+  ASSERT_NE(r.trace, nullptr);
+  SimTime sum;
+  for (const GcEvent& event : r.trace->gc_events) sum += event.pause;
+  // Metaspace collections are aggregated but not traced; allow that slack.
+  EXPECT_LE(sum, r.gc_pause_total);
+  EXPECT_GE(sum + SimTime::seconds(1), r.gc_pause_total);
+}
+
+TEST(RunTrace, EventKindNames) {
+  EXPECT_STREQ(to_string(GcEventKind::kYoung), "GC (Allocation Failure)");
+  EXPECT_STREQ(to_string(GcEventKind::kConcurrentFailure),
+               "Full GC (Concurrent Mode Failure)");
+}
+
+}  // namespace
+}  // namespace jat

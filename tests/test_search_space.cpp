@@ -1,0 +1,178 @@
+#include "tuner/search_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flags/validate.hpp"
+
+namespace jat {
+namespace {
+
+class SearchSpaceTest : public ::testing::Test {
+ protected:
+  const SearchSpace space_{FlagHierarchy::hotspot()};
+  const FlagRegistry& reg_ = FlagRegistry::hotspot();
+  Rng rng_{2025};
+
+  bool all_in_domain(const Configuration& c) {
+    for (FlagId id = 0; id < reg_.size(); ++id) {
+      if (!reg_.spec(id).in_domain(c.get(id))) return false;
+    }
+    return true;
+  }
+};
+
+TEST_F(SearchSpaceTest, RandomValueRespectsDomains) {
+  for (FlagId id = 0; id < reg_.size(); ++id) {
+    const FlagSpec& spec = reg_.spec(id);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_TRUE(spec.in_domain(space_.random_value(spec, rng_))) << spec.name;
+    }
+  }
+}
+
+TEST_F(SearchSpaceTest, NeighborValueRespectsDomains) {
+  for (FlagId id = 0; id < reg_.size(); ++id) {
+    const FlagSpec& spec = reg_.spec(id);
+    FlagValue v = spec.default_value;
+    for (int i = 0; i < 5; ++i) {
+      v = space_.neighbor_value(spec, v, rng_, 1.5);
+      EXPECT_TRUE(spec.in_domain(v)) << spec.name;
+    }
+  }
+}
+
+TEST_F(SearchSpaceTest, NeighborBoolFlips) {
+  const FlagSpec& spec = reg_.spec(reg_.require("UseBiasedLocking"));
+  EXPECT_EQ(space_.neighbor_value(spec, FlagValue(true), rng_).as_bool(), false);
+  EXPECT_EQ(space_.neighbor_value(spec, FlagValue(false), rng_).as_bool(), true);
+}
+
+TEST_F(SearchSpaceTest, NeighborEnumPicksDifferentChoice) {
+  const FlagSpec& spec = reg_.spec(reg_.require("ExecutionMode"));
+  for (int i = 0; i < 20; ++i) {
+    const FlagValue v =
+        space_.neighbor_value(spec, FlagValue(std::string("mixed")), rng_);
+    EXPECT_NE(v.as_string(), "mixed");
+  }
+}
+
+TEST_F(SearchSpaceTest, MutateOnlyTouchesActiveFlags) {
+  // The CMS subtree is inactive under the default (parallel) structure, so
+  // no amount of mutation may touch a CMS flag.
+  for (int trial = 0; trial < 50; ++trial) {
+    Configuration c(reg_);
+    space_.mutate(c, rng_, 5);
+    for (FlagId id : reg_.by_subsystem(Subsystem::kGcCms)) {
+      EXPECT_TRUE(c.is_default(id)) << reg_.spec(id).name;
+    }
+  }
+}
+
+TEST_F(SearchSpaceTest, MutateNeverTouchesStructuralFlags) {
+  const FlagHierarchy& h = FlagHierarchy::hotspot();
+  for (int trial = 0; trial < 50; ++trial) {
+    Configuration c(reg_);
+    space_.mutate(c, rng_, 8);
+    for (FlagId id : h.structural_flags()) {
+      EXPECT_TRUE(c.is_default(id)) << reg_.spec(id).name;
+    }
+  }
+}
+
+TEST_F(SearchSpaceTest, MutateStructureKeepsConfigStartable) {
+  for (int trial = 0; trial < 100; ++trial) {
+    Configuration c(reg_);
+    space_.mutate_structure(c, rng_);
+    space_.mutate_structure(c, rng_);
+    EXPECT_TRUE(is_startable(c)) << c.render_command_line();
+  }
+}
+
+TEST_F(SearchSpaceTest, MutateStructureChangesExactlyOneGroup) {
+  const FlagHierarchy& h = FlagHierarchy::hotspot();
+  Configuration c(reg_);
+  space_.mutate_structure(c, rng_);
+  int changed_groups = 0;
+  const Configuration defaults(reg_);
+  for (const auto& group : h.groups()) {
+    if (group.current_option(c) != group.current_option(defaults)) {
+      ++changed_groups;
+    }
+  }
+  EXPECT_EQ(changed_groups, 1);
+}
+
+TEST_F(SearchSpaceTest, CrossoverStaysInDomainAndStartable) {
+  for (int trial = 0; trial < 50; ++trial) {
+    const Configuration a = space_.random_config(rng_, 0.3);
+    const Configuration b = space_.random_config(rng_, 0.3);
+    const Configuration child = space_.crossover(a, b, rng_);
+    EXPECT_TRUE(all_in_domain(child));
+    EXPECT_TRUE(is_startable(child)) << child.render_command_line();
+  }
+}
+
+TEST_F(SearchSpaceTest, ZeroDensityRandomConfigOnlyChangesStructure) {
+  const FlagHierarchy& h = FlagHierarchy::hotspot();
+  const Configuration c = space_.random_config(rng_, 0.0);
+  for (FlagId id : c.changed_flags()) {
+    const auto& sf = h.structural_flags();
+    EXPECT_TRUE(std::find(sf.begin(), sf.end(), id) != sf.end())
+        << reg_.spec(id).name;
+  }
+}
+
+TEST_F(SearchSpaceTest, FullDensityRandomConfigChangesMuch) {
+  const Configuration c = space_.random_config(rng_, 1.0);
+  EXPECT_GT(c.changed_flags().size(), 100u);
+}
+
+TEST_F(SearchSpaceTest, FlatRandomEventuallyProducesFatalConfigs) {
+  // The whole point of the hierarchy: flat sampling produces collector
+  // conflicts a real JVM refuses to start with.
+  int fatal = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    if (!is_startable(space_.random_config_flat(rng_, 1.0))) ++fatal;
+  }
+  EXPECT_GT(fatal, 10);
+}
+
+TEST_F(SearchSpaceTest, HierarchyAwareRandomNeverFatal) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const Configuration c = space_.random_config(rng_, 1.0);
+    EXPECT_TRUE(is_startable(c)) << c.render_command_line();
+  }
+}
+
+TEST_F(SearchSpaceTest, MutateFlatCanTouchAnyFlag) {
+  // With enough mutations some inert/diagnostic flag moves.
+  Configuration c(reg_);
+  space_.mutate_flat(c, rng_, 200);
+  bool diagnostic_touched = false;
+  for (FlagId id : c.changed_flags()) {
+    diagnostic_touched |= reg_.spec(id).subsystem == Subsystem::kDiagnostic;
+  }
+  EXPECT_TRUE(diagnostic_touched);
+}
+
+// Property sweep: hierarchy-aware generation is valid across seeds.
+class RandomConfigSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomConfigSweep, GeneratedConfigsAreValidAndStartable) {
+  const SearchSpace space(FlagHierarchy::hotspot());
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    Configuration c = space.random_config(rng, 0.5);
+    EXPECT_TRUE(is_startable(c));
+    space.mutate(c, rng, 3);
+    space.mutate_structure(c, rng);
+    space.mutate(c, rng, 3);
+    EXPECT_TRUE(is_startable(c)) << c.render_command_line();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigSweep,
+                         ::testing::Range<std::uint64_t>(100, 115));
+
+}  // namespace
+}  // namespace jat

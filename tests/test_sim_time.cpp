@@ -1,0 +1,70 @@
+#include "support/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jat {
+namespace {
+
+TEST(SimTime, Constructors) {
+  EXPECT_EQ(SimTime::micros(1500).as_micros(), 1500);
+  EXPECT_EQ(SimTime::millis(2).as_micros(), 2000);
+  EXPECT_EQ(SimTime::seconds(1.5).as_micros(), 1500000);
+  EXPECT_EQ(SimTime::minutes(2).as_micros(), 120000000);
+  EXPECT_TRUE(SimTime::zero().is_zero());
+  EXPECT_TRUE(SimTime::infinite().is_infinite());
+}
+
+TEST(SimTime, Conversions) {
+  const SimTime t = SimTime::millis(2500);
+  EXPECT_DOUBLE_EQ(t.as_millis(), 2500.0);
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 2.5);
+  EXPECT_NEAR(t.as_minutes(), 2.5 / 60.0, 1e-12);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::millis(100);
+  const SimTime b = SimTime::millis(50);
+  EXPECT_EQ((a + b).as_millis(), 150.0);
+  EXPECT_EQ((a - b).as_millis(), 50.0);
+  EXPECT_EQ((a * 2.0).as_millis(), 200.0);
+  EXPECT_EQ((0.5 * a).as_millis(), 50.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::millis(10);
+  t += SimTime::millis(5);
+  EXPECT_EQ(t.as_millis(), 15.0);
+  t -= SimTime::millis(3);
+  EXPECT_EQ(t.as_millis(), 12.0);
+}
+
+TEST(SimTime, InfinitePropagatesThroughAddition) {
+  const SimTime inf = SimTime::infinite();
+  EXPECT_TRUE((inf + SimTime::seconds(1)).is_infinite());
+  EXPECT_TRUE((SimTime::seconds(1) + inf).is_infinite());
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_GT(SimTime::infinite(), SimTime::minutes(100000));
+  EXPECT_EQ(SimTime::seconds(1), SimTime::millis(1000));
+  EXPECT_LE(SimTime::zero(), SimTime::zero());
+}
+
+TEST(SimTime, ToStringPicksSensibleUnits) {
+  EXPECT_EQ(SimTime::micros(500).to_string(), "500us");
+  EXPECT_EQ(SimTime::millis(340).to_string(), "340.0ms");
+  EXPECT_EQ(SimTime::seconds(2.5).to_string(), "2.50s");
+  EXPECT_EQ(SimTime::minutes(200).to_string(), "200.0min");
+  EXPECT_EQ(SimTime::infinite().to_string(), "inf");
+}
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t.as_micros(), 0);
+}
+
+}  // namespace
+}  // namespace jat

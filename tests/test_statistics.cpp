@@ -1,0 +1,204 @@
+#include "support/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace jat {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat all;
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), 2.0);
+}
+
+TEST(MedianOf, Basics) {
+  EXPECT_EQ(median_of({}), 0.0);
+  EXPECT_EQ(median_of({7.0}), 7.0);
+  EXPECT_EQ(median_of({1.0, 9.0}), 5.0);
+  EXPECT_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Summarize, EmptySample) {
+  const SampleSummary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const SampleSummary s = summarize({1.0, 2.0, 3.0, 4.0, 100.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  // MAD robust to the outlier: |1-3|,|2-3|,|3-3|,|4-3|,|100-3| -> median 1.
+  EXPECT_EQ(s.mad, 1.0);
+  EXPECT_GT(s.ci95_half, 0.0);
+}
+
+TEST(Summarize, ConstantSampleHasZeroSpread) {
+  const SampleSummary s = summarize({5.0, 5.0, 5.0, 5.0});
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.mad, 0.0);
+  EXPECT_EQ(s.ci95_half, 0.0);
+}
+
+TEST(TCritical, MonotoneDecreasingInDof) {
+  EXPECT_GT(t_critical_95(1), t_critical_95(2));
+  EXPECT_GT(t_critical_95(2), t_critical_95(10));
+  EXPECT_GT(t_critical_95(10), t_critical_95(100));
+  EXPECT_NEAR(t_critical_95(1e9), 1.96, 0.01);
+}
+
+TEST(TCritical, TableAnchors) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_95(5), 2.571, 1e-3);
+  EXPECT_NEAR(t_critical_95(30), 2.042, 1e-3);
+}
+
+TEST(WelchTTest, InsufficientSamples) {
+  RunningStat a;
+  RunningStat b;
+  a.add(1.0);
+  b.add(2.0);
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_FALSE(r.significant_at_05);
+}
+
+TEST(WelchTTest, ClearlyDifferentMeans) {
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 10; ++i) {
+    a.add(10.0 + 0.1 * i);
+    b.add(20.0 + 0.1 * i);
+  }
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_TRUE(r.significant_at_05);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_LT(r.t, 0.0);  // a below b
+}
+
+TEST(WelchTTest, IdenticalSamplesNotSignificant) {
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 10; ++i) {
+    a.add(5.0 + i);
+    b.add(5.0 + i);
+  }
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_FALSE(r.significant_at_05);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+}
+
+TEST(WelchTTest, ZeroVarianceEqualMeans) {
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 5; ++i) {
+    a.add(3.0);
+    b.add(3.0);
+  }
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_FALSE(r.significant_at_05);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchTTest, ZeroVarianceDifferentMeans) {
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 5; ++i) {
+    a.add(3.0);
+    b.add(4.0);
+  }
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_TRUE(r.significant_at_05);
+  EXPECT_EQ(r.p_value, 0.0);
+}
+
+TEST(GeometricMean, Basics) {
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  EXPECT_EQ(geometric_mean({-1.0, 0.0}), 0.0);
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({5.0}), 5.0, 1e-12);
+  // Non-positive entries are skipped, not zeroing the result.
+  EXPECT_NEAR(geometric_mean({0.0, 4.0, 9.0}), 6.0, 1e-12);
+}
+
+// Property: summarize() mean/stddev agree with RunningStat for random data.
+class SummarizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SummarizeSweep, AgreesWithRunningStat) {
+  std::vector<double> xs;
+  RunningStat rs;
+  for (int i = 0; i < 40 + GetParam(); ++i) {
+    const double x = std::cos(i * GetParam() + 1) * 7 + GetParam();
+    xs.push_back(x);
+    rs.add(x);
+  }
+  const SampleSummary s = summarize(xs);
+  EXPECT_NEAR(s.mean, rs.mean(), 1e-9);
+  EXPECT_NEAR(s.stddev, rs.stddev(), 1e-9);
+  EXPECT_EQ(s.min, rs.min());
+  EXPECT_EQ(s.max, rs.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, SummarizeSweep, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace jat

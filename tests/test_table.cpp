@@ -1,0 +1,79 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace jat {
+namespace {
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, RowArityMismatchRejected) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, RenderContainsHeaderRuleAndRows) {
+  TextTable t({"program", "time"});
+  t.add_row({"h2", "123"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("program"), std::string::npos);
+  EXPECT_NE(out.find("-------"), std::string::npos);
+  EXPECT_NE(out.find("h2"), std::string::npos);
+  EXPECT_NE(out.find("123"), std::string::npos);
+}
+
+TEST(TextTable, NumericCellsRightAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "7"});
+  t.add_row({"y", "12345"});
+  const std::string out = t.render();
+  // "7" padded to the width of "12345" => preceded by spaces.
+  EXPECT_NE(out.find("    7"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable t({"a", "b"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"with\"quote", "line\nbreak"});
+  std::ostringstream out;
+  t.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+}
+
+TEST(TextTable, AccessorsReturnStoredData) {
+  TextTable t({"h1", "h2", "h3"});
+  t.add_row({"x", "y", "z"});
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.header()[2], "h3");
+  EXPECT_EQ(t.row(0)[1], "y");
+}
+
+TEST(Fmt, Decimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(-12345), "-12,345");
+}
+
+}  // namespace
+}  // namespace jat

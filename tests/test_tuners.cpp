@@ -1,0 +1,232 @@
+#include "tuner/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/log.hpp"
+#include "workloads/suites.hpp"
+
+namespace jat {
+namespace {
+
+WorkloadSpec session_workload() {
+  WorkloadSpec w;
+  w.name = "tuner-test";
+  w.total_work = 500;
+  w.startup_work = 100;
+  w.startup_classes = 1500;
+  w.alloc_rate = 600 * 1024;
+  w.method_count = 3000;
+  w.noise_sigma = 0.01;
+  return w;
+}
+
+SessionOptions quick_options(double minutes = 20.0) {
+  SessionOptions options;
+  options.budget = SimTime::minutes(minutes);
+  options.repetitions = 2;
+  options.seed = 99;
+  return options;
+}
+
+class TunerSuite : public ::testing::Test {
+ protected:
+  TunerSuite() { set_log_level(LogLevel::kWarn); }
+  JvmSimulator sim_;
+};
+
+/// Shared assertions every tuner must satisfy.
+void check_outcome(const TuningOutcome& outcome, const SessionOptions& options) {
+  // Incumbent never worse than the default baseline (default is candidate 0).
+  EXPECT_LE(outcome.best_ms, outcome.default_ms);
+  EXPECT_GE(outcome.improvement_frac(), 0.0);
+  // Budget respected up to the in-flight measurement overshoot.
+  EXPECT_LE(outcome.budget_spent.as_seconds(),
+            options.budget.as_seconds() * 1.2 + 120.0);
+  EXPECT_GE(outcome.evaluations, 2);
+  ASSERT_NE(outcome.db, nullptr);
+  EXPECT_EQ(static_cast<std::int64_t>(outcome.db->size()), outcome.evaluations);
+  // The best configuration is startable (crashes have infinite objective).
+  EXPECT_TRUE(std::isfinite(outcome.best_ms));
+}
+
+TEST_F(TunerSuite, RandomSearch) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  RandomSearch tuner(0.15);
+  check_outcome(session.run(tuner), quick_options());
+}
+
+TEST_F(TunerSuite, HillClimber) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  HillClimber tuner;
+  check_outcome(session.run(tuner), quick_options());
+}
+
+TEST_F(TunerSuite, SimulatedAnnealing) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  SimulatedAnnealing tuner;
+  check_outcome(session.run(tuner), quick_options());
+}
+
+TEST_F(TunerSuite, GeneticTuner) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  GeneticTuner tuner;
+  check_outcome(session.run(tuner), quick_options());
+}
+
+TEST_F(TunerSuite, BanditEnsemble) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  BanditEnsemble tuner;
+  check_outcome(session.run(tuner), quick_options());
+}
+
+TEST_F(TunerSuite, HierarchicalTuner) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  HierarchicalTuner tuner;
+  check_outcome(session.run(tuner), quick_options());
+}
+
+TEST_F(TunerSuite, IteratedLocalSearch) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  IteratedLocalSearch tuner;
+  check_outcome(session.run(tuner), quick_options());
+}
+
+TEST_F(TunerSuite, SubsetTuner) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  SubsetTuner tuner;
+  check_outcome(session.run(tuner), quick_options());
+}
+
+TEST_F(TunerSuite, FlatVariantsSurviveFatalCandidates) {
+  TuningSession session(sim_, session_workload(), quick_options(10));
+  RandomSearch flat(1.0, /*flat=*/true);
+  const TuningOutcome outcome = session.run(flat);
+  // Flat full-density random mostly crashes, but the default baseline
+  // keeps the incumbent finite.
+  EXPECT_TRUE(std::isfinite(outcome.best_ms));
+  EXPECT_LE(outcome.best_ms, outcome.default_ms);
+}
+
+TEST_F(TunerSuite, SerialSessionsAreDeterministic) {
+  const SessionOptions options = quick_options(10);
+  TuningSession s1(sim_, session_workload(), options);
+  TuningSession s2(sim_, session_workload(), options);
+  HierarchicalTuner t1;
+  HierarchicalTuner t2;
+  const TuningOutcome a = s1.run(t1);
+  const TuningOutcome b = s2.run(t2);
+  EXPECT_EQ(a.best_ms, b.best_ms);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.best_config.fingerprint(), b.best_config.fingerprint());
+}
+
+TEST_F(TunerSuite, DifferentSeedsExploreDifferently) {
+  SessionOptions o1 = quick_options(10);
+  SessionOptions o2 = quick_options(10);
+  o2.seed = 123456;
+  TuningSession s1(sim_, session_workload(), o1);
+  TuningSession s2(sim_, session_workload(), o2);
+  HillClimber t1;
+  HillClimber t2;
+  const TuningOutcome a = s1.run(t1);
+  const TuningOutcome b = s2.run(t2);
+  // Same workload, different random trajectories.
+  EXPECT_NE(a.db->get(3).fingerprint, b.db->get(3).fingerprint);
+}
+
+TEST_F(TunerSuite, ParallelEvaluationMatchesSerialQualityClass) {
+  SessionOptions serial = quick_options(15);
+  SessionOptions parallel = quick_options(15);
+  parallel.eval_threads = 4;
+  TuningSession s1(sim_, session_workload(), serial);
+  TuningSession s2(sim_, session_workload(), parallel);
+  GeneticTuner t1;
+  GeneticTuner t2;
+  const TuningOutcome a = s1.run(t1);
+  const TuningOutcome b = s2.run(t2);
+  // Parallel evaluation changes scheduling, not measurement semantics:
+  // both must land at a finite improvement over the same baseline.
+  EXPECT_EQ(a.default_ms, b.default_ms);
+  EXPECT_TRUE(std::isfinite(b.best_ms));
+  EXPECT_LE(b.best_ms, b.default_ms);
+}
+
+TEST_F(TunerSuite, TrajectoryIsMonotone) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  HierarchicalTuner tuner;
+  const TuningOutcome outcome = session.run(tuner);
+  const auto trajectory = outcome.db->best_trajectory();
+  ASSERT_FALSE(trajectory.empty());
+  for (std::size_t i = 1; i < trajectory.size(); ++i) {
+    EXPECT_LT(trajectory[i].second, trajectory[i - 1].second);
+    EXPECT_GE(trajectory[i].first, trajectory[i - 1].first);
+  }
+  // The trajectory tracks *search* objectives; the outcome reports the
+  // re-validated value, which differs by at most the measurement noise.
+  EXPECT_EQ(trajectory.back().second, outcome.db->best_objective());
+  EXPECT_NEAR(outcome.best_ms, trajectory.back().second,
+              0.15 * trajectory.back().second);
+}
+
+TEST_F(TunerSuite, HierarchicalRecordsItsPhases) {
+  // Budget large enough that the cost-aware guard keeps the structural
+  // phase (it is skipped when the budget affords under ~200 evaluations).
+  TuningSession session(sim_, session_workload(), quick_options(60));
+  HierarchicalTuner tuner;
+  const TuningOutcome outcome = session.run(tuner);
+  std::set<std::string> phases;
+  for (const auto& rec : outcome.db->all()) phases.insert(rec.phase);
+  EXPECT_TRUE(phases.contains("default"));
+  EXPECT_TRUE(phases.contains("structural"));
+  EXPECT_TRUE(phases.contains("subtree"));
+}
+
+TEST_F(TunerSuite, SubsetTunerOnlyMovesItsSubsetPlusCollector) {
+  TuningSession session(sim_, session_workload(), quick_options());
+  SubsetTuner tuner;
+  const TuningOutcome outcome = session.run(tuner);
+  const std::set<std::string> allowed = {
+      "MaxHeapSize",       "InitialHeapSize",     "NewRatio",
+      "SurvivorRatio",     "MaxTenuringThreshold", "ParallelGCThreads",
+      "UseSerialGC",       "UseParallelGC",        "UseConcMarkSweepGC",
+      "UseParNewGC",       "UseG1GC",
+      // repair() may clamp these dependents of the subset flags:
+      "InitialTenuringThreshold"};
+  for (FlagId id : outcome.best_config.changed_flags()) {
+    const std::string& name =
+        outcome.best_config.registry().spec(id).name;
+    EXPECT_TRUE(allowed.contains(name)) << name;
+  }
+}
+
+TEST_F(TunerSuite, LargerBudgetNeverHurts) {
+  TuningSession small(sim_, session_workload(), quick_options(5));
+  TuningSession large(sim_, session_workload(), quick_options(40));
+  HierarchicalTuner t1;
+  HierarchicalTuner t2;
+  const double small_best = small.run(t1).best_ms;
+  const double large_best = large.run(t2).best_ms;
+  // Same seed: the large-budget run replays the small run's prefix.
+  EXPECT_LE(large_best, small_best * 1.15);
+}
+
+TEST_F(TunerSuite, TunerNames) {
+  EXPECT_EQ(RandomSearch().name(), "random");
+  EXPECT_EQ(RandomSearch(1.0, true).name(), "random-flat");
+  EXPECT_EQ(HillClimber().name(), "hillclimb");
+  EXPECT_EQ(SimulatedAnnealing().name(), "annealing");
+  EXPECT_EQ(GeneticTuner().name(), "genetic");
+  EXPECT_EQ(BanditEnsemble().name(), "bandit");
+  EXPECT_EQ(IteratedLocalSearch().name(), "ils");
+  EXPECT_EQ(HierarchicalTuner().name(), "hierarchical");
+  EXPECT_EQ(SubsetTuner().name(), "subset");
+  HierarchicalTuner::Options ungated;
+  ungated.gate_subtrees = false;
+  EXPECT_EQ(HierarchicalTuner(ungated).name(), "hierarchical-ungated");
+}
+
+}  // namespace
+}  // namespace jat

@@ -1,0 +1,57 @@
+#include "support/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace jat {
+namespace {
+
+TEST(FormatBytes, ExactMultiplesUseSuffix) {
+  EXPECT_EQ(format_bytes(0), "0");
+  EXPECT_EQ(format_bytes(1024), "1k");
+  EXPECT_EQ(format_bytes(512 * kMiB), "512m");
+  EXPECT_EQ(format_bytes(4 * kGiB), "4g");
+  EXPECT_EQ(format_bytes(2496 * kKiB), "2496k");
+}
+
+TEST(FormatBytes, NonMultiplesStayRaw) {
+  EXPECT_EQ(format_bytes(1000), "1000");
+  EXPECT_EQ(format_bytes(1025), "1025");
+}
+
+TEST(ParseBytes, Suffixes) {
+  EXPECT_EQ(parse_bytes("64k"), 64 * kKiB);
+  EXPECT_EQ(parse_bytes("512M"), 512 * kMiB);
+  EXPECT_EQ(parse_bytes("4g"), 4 * kGiB);
+  EXPECT_EQ(parse_bytes("1T"), kGiB * 1024);
+  EXPECT_EQ(parse_bytes("12345"), 12345);
+}
+
+TEST(ParseBytes, RoundTripsFormat) {
+  for (std::int64_t v : {std::int64_t{1024}, 16 * kMiB, 3 * kGiB, std::int64_t{777}}) {
+    EXPECT_EQ(parse_bytes(format_bytes(v)), v);
+  }
+}
+
+TEST(ParseBytes, RejectsMalformedInput) {
+  EXPECT_THROW(parse_bytes(""), FlagError);
+  EXPECT_THROW(parse_bytes("k"), FlagError);
+  EXPECT_THROW(parse_bytes("12x3"), FlagError);
+  EXPECT_THROW(parse_bytes("-5m"), FlagError);
+  EXPECT_THROW(parse_bytes("1.5g"), FlagError);
+}
+
+TEST(ParseBytes, RejectsOverflow) {
+  EXPECT_THROW(parse_bytes("99999999999999999999999"), FlagError);
+}
+
+TEST(FormatPercent, Rendering) {
+  EXPECT_EQ(format_percent(0.193), "19.3%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+  EXPECT_EQ(format_percent(1.0), "100.0%");
+  EXPECT_EQ(format_percent(-0.05), "-5.0%");
+}
+
+}  // namespace
+}  // namespace jat

@@ -1,0 +1,150 @@
+#include "flags/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/units.hpp"
+
+namespace jat {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  Configuration config_{FlagRegistry::hotspot()};
+
+  bool has_fatal() const { return !is_startable(config_); }
+
+  bool has_violation_mentioning(const std::string& needle) const {
+    for (const auto& v : validate(config_)) {
+      if (v.message.find(needle) != std::string::npos ||
+          v.flag.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+TEST_F(ValidateTest, DefaultConfigurationIsStartable) {
+  EXPECT_TRUE(is_startable(config_));
+  EXPECT_EQ(first_fatal(config_), "");
+}
+
+TEST_F(ValidateTest, ConflictingCollectorsAreFatal) {
+  config_.set_bool("UseG1GC", true);  // UseParallelGC still true
+  EXPECT_TRUE(has_fatal());
+  EXPECT_TRUE(has_violation_mentioning("conflicting collector"));
+}
+
+TEST_F(ValidateTest, SingleCollectorSwitchIsFine) {
+  config_.set_bool("UseParallelGC", false);
+  config_.set_bool("UseG1GC", true);
+  EXPECT_TRUE(is_startable(config_));
+}
+
+TEST_F(ValidateTest, NoCollectorIsOnlyAWarning) {
+  config_.set_bool("UseParallelGC", false);
+  EXPECT_TRUE(is_startable(config_));
+  EXPECT_FALSE(validate(config_).empty());
+}
+
+TEST_F(ValidateTest, ParNewWithoutCmsIsFatal) {
+  config_.set_bool("UseParNewGC", true);
+  EXPECT_TRUE(has_fatal());
+}
+
+TEST_F(ValidateTest, ParNewWithCmsIsFine) {
+  config_.set_bool("UseParallelGC", false);
+  config_.set_bool("UseConcMarkSweepGC", true);
+  config_.set_bool("UseParNewGC", true);
+  EXPECT_TRUE(is_startable(config_));
+}
+
+TEST_F(ValidateTest, ParallelOldWithoutParallelIsWarningOnly) {
+  config_.set_bool("UseParallelGC", false);
+  config_.set_bool("UseSerialGC", true);
+  // UseParallelOldGC defaults true; with Serial selected it is inert.
+  EXPECT_TRUE(is_startable(config_));
+  EXPECT_TRUE(has_violation_mentioning("UseParallelOldGC"));
+}
+
+TEST_F(ValidateTest, InitialHeapAboveMaxIsFatal) {
+  config_.set_int("MaxHeapSize", 256 * kMiB);
+  config_.set_int("InitialHeapSize", 512 * kMiB);
+  EXPECT_TRUE(has_fatal());
+}
+
+TEST_F(ValidateTest, YoungLargerThanHeapIsFatal) {
+  config_.set_int("MaxHeapSize", 128 * kMiB);
+  config_.set_int("InitialHeapSize", 64 * kMiB);
+  config_.set_int("NewSize", 512 * kMiB);
+  EXPECT_TRUE(has_fatal());
+}
+
+TEST_F(ValidateTest, NewSizeAboveMaxNewSizeIsWarning) {
+  config_.set_int("NewSize", 256 * kMiB);
+  config_.set_int("MaxNewSize", 128 * kMiB);
+  EXPECT_TRUE(is_startable(config_));
+  EXPECT_TRUE(has_violation_mentioning("MaxNewSize"));
+}
+
+TEST_F(ValidateTest, InvertedHeapFreeRatiosAreFatal) {
+  config_.set_int("MinHeapFreeRatio", 80);
+  config_.set_int("MaxHeapFreeRatio", 20);
+  EXPECT_TRUE(has_fatal());
+}
+
+TEST_F(ValidateTest, InvertedTenuringThresholdsAreFatal) {
+  config_.set_int("InitialTenuringThreshold", 10);
+  config_.set_int("MaxTenuringThreshold", 5);
+  EXPECT_TRUE(has_fatal());
+}
+
+TEST_F(ValidateTest, MetaspaceAboveMaxIsWarning) {
+  config_.set_int("MetaspaceSize", 256 * kMiB);
+  config_.set_int("MaxMetaspaceSize", 64 * kMiB);
+  EXPECT_TRUE(is_startable(config_));
+  EXPECT_TRUE(has_violation_mentioning("Metaspace"));
+}
+
+TEST_F(ValidateTest, NonPowerOfTwoG1RegionIsFatal) {
+  config_.set_int("G1HeapRegionSize", 3 * kMiB);
+  EXPECT_TRUE(has_fatal());
+}
+
+TEST_F(ValidateTest, PowerOfTwoG1RegionIsFine) {
+  config_.set_int("G1HeapRegionSize", 4 * kMiB);
+  EXPECT_TRUE(is_startable(config_));
+}
+
+TEST_F(ValidateTest, InvertedG1NewSizePercentsAreFatal) {
+  config_.set_int("G1NewSizePercent", 50);
+  config_.set_int("G1MaxNewSizePercent", 20);
+  EXPECT_TRUE(has_fatal());
+}
+
+TEST_F(ValidateTest, CmsPrecleanRatioConstraint) {
+  config_.set_int("CMSPrecleanNumerator", 10);
+  config_.set_int("CMSPrecleanDenominator", 5);
+  EXPECT_TRUE(has_fatal());
+}
+
+TEST_F(ValidateTest, CodeCacheInversionIsFatal) {
+  config_.set_int("InitialCodeCacheSize", 32 * kMiB);
+  config_.set_int("ReservedCodeCacheSize", 8 * kMiB);
+  EXPECT_TRUE(has_fatal());
+}
+
+TEST_F(ValidateTest, TieredStopLevelWithoutTieredIsWarning) {
+  config_.set_bool("TieredCompilation", false);
+  config_.set_int("TieredStopAtLevel", 1);
+  EXPECT_TRUE(is_startable(config_));
+  EXPECT_TRUE(has_violation_mentioning("TieredStopAtLevel"));
+}
+
+TEST_F(ValidateTest, FirstFatalReportsTheMessage) {
+  config_.set_bool("UseG1GC", true);
+  EXPECT_NE(first_fatal(config_).find("conflicting"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jat

@@ -1,0 +1,137 @@
+#include "workloads/suites.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace jat {
+namespace {
+
+TEST(Suites, SpecJvm2008Has16Programs) {
+  EXPECT_EQ(specjvm2008_startup().size(), 16u);
+}
+
+TEST(Suites, DaCapoHas13Programs) {
+  EXPECT_EQ(dacapo().size(), 13u);
+}
+
+TEST(Suites, AllNamesUniqueAcrossSuites) {
+  std::set<std::string> names;
+  for (const auto& w : specjvm2008_startup()) {
+    EXPECT_TRUE(names.insert(w.name).second) << w.name;
+  }
+  for (const auto& w : dacapo()) {
+    EXPECT_TRUE(names.insert(w.name).second) << w.name;
+  }
+}
+
+TEST(Suites, EverySpecIsValid) {
+  for (const auto& w : specjvm2008_startup()) {
+    EXPECT_TRUE(w.problems().empty())
+        << w.name << ": " << w.problems().front();
+  }
+  for (const auto& w : dacapo()) {
+    EXPECT_TRUE(w.problems().empty())
+        << w.name << ": " << w.problems().front();
+  }
+}
+
+TEST(Suites, SuiteLabelsMatch) {
+  for (const auto& w : specjvm2008_startup()) EXPECT_EQ(w.suite, "specjvm2008");
+  for (const auto& w : dacapo()) EXPECT_EQ(w.suite, "dacapo");
+}
+
+TEST(Suites, StartupProgramsAreStartupHeavy) {
+  for (const auto& w : specjvm2008_startup()) {
+    EXPECT_GT(w.startup_work / w.total_work, 0.15) << w.name;
+  }
+}
+
+TEST(Suites, SuitesAreDiverse) {
+  // The evaluation depends on programs stressing different subsystems.
+  bool lock_bound = false;
+  bool alloc_bound = false;
+  bool code_bound = false;
+  bool crypto = false;
+  bool vector = false;
+  for (const auto& w : dacapo()) {
+    lock_bound |= w.locks_per_work > 150;
+    alloc_bound |= w.alloc_rate > 1.0 * 1024 * 1024;
+    code_bound |= w.method_count > 15000;
+  }
+  for (const auto& w : specjvm2008_startup()) {
+    crypto |= w.crypto_frac > 0.3;
+    vector |= w.vector_frac > 0.3;
+  }
+  EXPECT_TRUE(lock_bound);
+  EXPECT_TRUE(alloc_bound);
+  EXPECT_TRUE(code_bound);
+  EXPECT_TRUE(crypto);
+  EXPECT_TRUE(vector);
+}
+
+TEST(FindWorkload, LooksUpAcrossSuites) {
+  EXPECT_EQ(find_workload("avrora").name, "avrora");
+  EXPECT_EQ(find_workload("startup.serial").suite, "specjvm2008");
+  EXPECT_THROW(find_workload("nope"), Error);
+}
+
+TEST(WorkloadProblems, DetectsBadFractions) {
+  WorkloadSpec w;
+  w.name = "bad";
+  w.short_lived_frac = 0.8;
+  w.mid_lived_frac = 0.5;
+  EXPECT_FALSE(w.problems().empty());
+}
+
+TEST(WorkloadProblems, DetectsNonPositiveWork) {
+  WorkloadSpec w;
+  w.name = "bad";
+  w.total_work = 0;
+  EXPECT_FALSE(w.problems().empty());
+}
+
+TEST(WorkloadProblems, DetectsStartupExceedingTotal) {
+  WorkloadSpec w;
+  w.name = "bad";
+  w.total_work = 100;
+  w.startup_work = 200;
+  EXPECT_FALSE(w.problems().empty());
+}
+
+TEST(WorkloadProblems, DetectsBadSpeeds) {
+  WorkloadSpec w;
+  w.name = "bad";
+  w.interpreter_speed = 0.0;
+  EXPECT_FALSE(w.problems().empty());
+  w.interpreter_speed = 0.5;
+  w.c1_speed = 0.3;  // below interpreter
+  EXPECT_FALSE(w.problems().empty());
+}
+
+TEST(WorkloadProblems, EmptyNameRejected) {
+  WorkloadSpec w;
+  EXPECT_FALSE(w.problems().empty());
+}
+
+// Property: synthetic workloads are valid and deterministic per seed.
+class SyntheticSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyntheticSweep, ValidAndDeterministic) {
+  const WorkloadSpec a = make_synthetic(GetParam());
+  const WorkloadSpec b = make_synthetic(GetParam());
+  EXPECT_TRUE(a.problems().empty())
+      << a.name << ": " << (a.problems().empty() ? "" : a.problems().front());
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.alloc_rate, b.alloc_rate);
+  EXPECT_EQ(a.method_count, b.method_count);
+  EXPECT_EQ(a.lock_contention, b.lock_contention);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSweep,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace jat

@@ -1,0 +1,262 @@
+// jat_tune — the command-line face of the library, shaped like the tool
+// the paper describes: point it at a benchmark, give it a tuning budget,
+// get back a tuned -XX configuration (plus the flags that actually
+// mattered).
+//
+//   jat_tune --workload h2 --budget 200 --tuner hierarchical
+//            --out tuned.flags --explain
+//   jat_tune --list
+//   jat_tune --suite dacapo --budget 2000 --tuner genetic --threads 8
+#include <cstdio>
+#include <exception>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flags/parse.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "tuner/importance.hpp"
+#include "tuner/session.hpp"
+#include "tuner/suite_session.hpp"
+#include "workloads/suites.hpp"
+
+namespace {
+
+using namespace jat;
+
+void usage() {
+  std::printf(
+      "jat_tune — whole-JVM auto-tuner (simulated HotSpot substrate)\n\n"
+      "  --workload NAME     benchmark to tune (see --list)\n"
+      "  --suite NAME        tune one general config for a whole suite\n"
+      "                      (specjvm2008 | dacapo)\n"
+      "  --budget MINUTES    tuning budget in simulated minutes (default 200)\n"
+      "  --tuner NAME        hierarchical | random | hillclimb | annealing |\n"
+      "                      genetic | bandit | ils | subset (default: hierarchical)\n"
+      "  --seed N            master seed (default 2015)\n"
+      "  --reps N            timed repetitions per candidate (default 3)\n"
+      "  --threads N         parallel candidate evaluation threads\n"
+      "  --out FILE          write the tuned flags to FILE\n"
+      "  --replay FILE       re-measure a saved .flags file on --workload\n"
+      "  --racing            abandon clearly-losing candidates after 1 rep\n"
+      "  --explain           leave-one-out analysis of the winning flags\n"
+      "  --verbose           per-phase progress logging\n"
+      "  --list              list available workloads\n");
+}
+
+std::unique_ptr<Tuner> make_tuner(const std::string& name) {
+  if (name == "hierarchical") return std::make_unique<HierarchicalTuner>();
+  if (name == "random") return std::make_unique<RandomSearch>(0.15);
+  if (name == "hillclimb") return std::make_unique<HillClimber>();
+  if (name == "annealing") return std::make_unique<SimulatedAnnealing>();
+  if (name == "genetic") return std::make_unique<GeneticTuner>();
+  if (name == "bandit") return std::make_unique<BanditEnsemble>();
+  if (name == "ils") return std::make_unique<IteratedLocalSearch>();
+  if (name == "subset") return std::make_unique<SubsetTuner>();
+  return nullptr;
+}
+
+void list_workloads() {
+  TextTable table({"workload", "suite", "work", "alloc/unit", "threads"});
+  auto add = [&](const WorkloadSpec& w) {
+    table.add_row({w.name, w.suite, fmt(w.total_work, 0),
+                   format_bytes(static_cast<std::int64_t>(w.alloc_rate)),
+                   std::to_string(w.app_threads)});
+  };
+  for (const auto& w : specjvm2008_startup()) add(w);
+  for (const auto& w : dacapo()) add(w);
+  std::printf("%s", table.render().c_str());
+}
+
+int tune_one(const std::string& workload_name, const SessionOptions& options,
+             Tuner& tuner, const std::string& out_path, bool explain) {
+  JvmSimulator simulator;
+  const WorkloadSpec& workload = find_workload(workload_name);
+  TuningSession session(simulator, workload, options);
+  const TuningOutcome outcome = session.run(tuner);
+
+  std::printf("\n%-22s %s\n", "workload", outcome.workload_name.c_str());
+  std::printf("%-22s %s\n", "tuner", outcome.tuner_name.c_str());
+  std::printf("%-22s %s ms -> %s ms  (%s, speedup %.2fx)\n", "validated result",
+              fmt(outcome.default_ms, 0).c_str(), fmt(outcome.best_ms, 0).c_str(),
+              format_percent(outcome.improvement_frac()).c_str(),
+              outcome.speedup());
+  std::printf("%-22s %lld configurations, %lld JVM runs, %s budget spent\n",
+              "search", static_cast<long long>(outcome.evaluations),
+              static_cast<long long>(outcome.runs),
+              outcome.budget_spent.to_string().c_str());
+  std::printf("%-22s %s\n", "tuned flags",
+              outcome.best_config.changed_flags().empty()
+                  ? "(defaults were best)"
+                  : outcome.best_config.render_command_line().c_str());
+
+  if (explain && !outcome.best_config.changed_flags().empty()) {
+    RunnerOptions runner_options;
+    runner_options.repetitions = std::max(5, options.repetitions);
+    runner_options.seed = mix64(options.seed, fnv1a64("explain"));
+    BenchmarkRunner runner(simulator, workload, runner_options);
+    const ImportanceReport report = analyze_importance(runner, outcome.best_config);
+
+    std::printf("\nflag contributions (leave-one-out):\n");
+    TextTable table({"flag", "tuned", "default", "contribution"});
+    for (const auto& c : report.contributions) {
+      if (!c.significant && std::abs(c.contribution_frac) < 0.01) continue;
+      table.add_row({c.name, c.tuned_value, c.default_value,
+                     format_percent(c.contribution_frac) +
+                         (c.significant ? "" : " (noise)")});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("essential config (%zu flags): %s ms -> %s\n",
+                report.essential_config.changed_flags().size(),
+                fmt(report.essential_ms, 0).c_str(),
+                report.essential_config.render_command_line().c_str());
+  }
+
+  if (!out_path.empty()) {
+    if (save_configuration(outcome.best_config, out_path)) {
+      std::printf("\ntuned configuration written to %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int tune_suite(const std::string& suite_name, const SessionOptions& options,
+               Tuner& tuner, const std::string& out_path) {
+  std::vector<WorkloadSpec> suite;
+  if (suite_name == "specjvm2008") {
+    suite = specjvm2008_startup();
+  } else if (suite_name == "dacapo") {
+    suite = dacapo();
+  } else {
+    std::fprintf(stderr, "error: unknown suite '%s'\n", suite_name.c_str());
+    return 1;
+  }
+  JvmSimulator simulator;
+  SuiteTuningSession session(simulator, suite, options);
+  const SuiteOutcome outcome = session.run(tuner);
+
+  std::printf("\ngeneral configuration for %s (geomean improvement %s):\n",
+              suite_name.c_str(),
+              format_percent(outcome.improvement_frac()).c_str());
+  TextTable table({"workload", "improvement"});
+  for (std::size_t i = 0; i < outcome.workload_names.size(); ++i) {
+    table.add_row({outcome.workload_names[i],
+                   format_percent(outcome.per_workload_improvement[i])});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("flags: %s\n", outcome.best_config.render_command_line().c_str());
+  if (!out_path.empty() && !save_configuration(outcome.best_config, out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload;
+  std::string suite;
+  std::string tuner_name = "hierarchical";
+  std::string out_path;
+  std::string replay_path;
+  SessionOptions options;
+  bool explain = false;
+  set_log_level(LogLevel::kWarn);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload = next();
+    } else if (arg == "--suite") {
+      suite = next();
+    } else if (arg == "--budget") {
+      options.budget = jat::SimTime::minutes(std::atof(next()));
+    } else if (arg == "--tuner") {
+      tuner_name = next();
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--reps") {
+      options.repetitions = std::atoi(next());
+    } else if (arg == "--threads") {
+      options.eval_threads = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--racing") {
+      options.racing_factor = 1.3;
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--verbose") {
+      jat::set_log_level(jat::LogLevel::kInfo);
+    } else if (arg == "--list") {
+      list_workloads();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  if (!replay_path.empty()) {
+    if (workload.empty()) {
+      std::fprintf(stderr, "error: --replay needs --workload\n");
+      return 1;
+    }
+    try {
+      JvmSimulator simulator;
+      const WorkloadSpec& w = find_workload(workload);
+      const Configuration loaded =
+          load_configuration(FlagRegistry::hotspot(), replay_path);
+      RunnerOptions ro;
+      ro.repetitions = std::max(5, options.repetitions);
+      BenchmarkRunner runner(simulator, w, ro);
+      const double base = runner.measure(Configuration(FlagRegistry::hotspot())).objective();
+      const double tuned = runner.measure(loaded).objective();
+      std::printf("replay of %s on %s:\n  default %s ms, tuned %s ms (%s)\n  %s\n",
+                  replay_path.c_str(), workload.c_str(), fmt(base, 0).c_str(),
+                  fmt(tuned, 0).c_str(),
+                  format_percent(base > 0 ? (base - tuned) / base : 0).c_str(),
+                  loaded.render_command_line().c_str());
+      return 0;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+  }
+  if (workload.empty() && suite.empty()) {
+    usage();
+    return 1;
+  }
+  auto tuner = make_tuner(tuner_name);
+  if (tuner == nullptr) {
+    std::fprintf(stderr, "error: unknown tuner '%s'\n", tuner_name.c_str());
+    return 1;
+  }
+  try {
+    if (!suite.empty()) return tune_suite(suite, options, *tuner, out_path);
+    return tune_one(workload, options, *tuner, out_path, explain);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
