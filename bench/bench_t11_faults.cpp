@@ -1,0 +1,152 @@
+// T11 (extension) — tuning under failure: graceful degradation behind the
+// fault-tolerant evaluation layer.
+//
+// The paper's tuner ran against a real, hostile harness: JVMs crash, hang,
+// and the infrastructure flakes. This bench injects transient harness
+// failures at increasing rates and compares the hierarchical tuner behind
+// the ResilientEvaluator (retry / quarantine / circuit breaker) against a
+// fail-fast harness at equal budget. Expected shape: resilience holds on
+// to >= 80% of the fault-free improvement at a 15% failure rate and
+// degrades gracefully at 30%, while the budget clock never overshoots by
+// more than the one run in flight when it expired. A second table runs a
+// hostile mix (flakes + broken configs + hangs) to show the quarantine and
+// breaker machinery earning its keep.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/statistics.hpp"
+#include "support/units.hpp"
+#include "workloads/suites.hpp"
+
+namespace {
+
+struct RatePoint {
+  double improvement_resilient = 0;
+  double improvement_failfast = 0;
+  jat::FaultStats stats;
+  bool budget_ok = true;
+  double worst_overspend_s = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace jat;
+  const bench::Scale scale = bench::scale_from_env();
+  set_log_level(LogLevel::kWarn);
+
+  const std::vector<std::string> programs = {"startup.serial", "avrora"};
+  const std::vector<double> rates = {0.0, 0.05, 0.15, 0.30};
+
+  JvmSimulator simulator;
+
+  const auto run_point = [&](double rate, bool resilient,
+                             const FaultOptions& extra) {
+    RatePoint point;
+    std::vector<double> improvements;
+    for (const auto& name : programs) {
+      const WorkloadSpec& workload = find_workload(name);
+      SessionOptions options = bench::session_options(scale);
+      options.budget =
+          options.budget * std::max(1.0, workload.total_work / 6000.0);
+      options.fault_injection = extra;
+      options.fault_injection.transient_rate = rate;
+      options.resilient = resilient;
+      TuningSession session(simulator, workload, options);
+      HierarchicalTuner tuner;
+      const TuningOutcome outcome = session.run(tuner);
+      improvements.push_back(outcome.improvement_frac());
+      point.stats += outcome.fault_stats;
+
+      // Budget invariant: the clock may overshoot only by the one run in
+      // flight when it expired — a candidate's time-limited run plus its
+      // harness overhead (or one injected failure, whichever is larger).
+      const double overspend_s =
+          (outcome.budget_spent - options.budget).as_seconds();
+      const double one_run_s =
+          std::max(outcome.default_ms * 5.0 / 1000.0 +
+                       options.per_run_overhead_s,
+                   options.fault_injection.hang_timeout.as_seconds()) +
+          options.fault_injection.failure_cost.as_seconds();
+      point.worst_overspend_s = std::max(point.worst_overspend_s, overspend_s);
+      if (overspend_s > one_run_s) point.budget_ok = false;
+    }
+    const SampleSummary s = summarize(improvements);
+    if (resilient) {
+      point.improvement_resilient = s.mean;
+    } else {
+      point.improvement_failfast = s.mean;
+    }
+    return point;
+  };
+
+  // ---- curve 1: transient flakes only ---------------------------------------
+  TextTable table({"transient_rate", "failfast", "resilient", "retained",
+                   "retries", "recovered", "overspend_s", "budget_ok"});
+  double fault_free = 0.0;
+  double retained_at_15 = 0.0;
+  double worst_overspend_s = 0.0;
+  bool all_budget_ok = true;
+  for (double rate : rates) {
+    const RatePoint resilient = run_point(rate, true, FaultOptions{});
+    const RatePoint failfast = run_point(rate, false, FaultOptions{});
+    if (rate == 0.0) fault_free = resilient.improvement_resilient;
+    const double retained =
+        fault_free > 0 ? resilient.improvement_resilient / fault_free : 0.0;
+    if (rate == 0.15) retained_at_15 = retained;
+    const bool budget_ok = resilient.budget_ok && failfast.budget_ok;
+    all_budget_ok = all_budget_ok && budget_ok;
+    worst_overspend_s =
+        std::max({worst_overspend_s, resilient.worst_overspend_s,
+                  failfast.worst_overspend_s});
+    table.add_row({format_percent(rate),
+                   format_percent(failfast.improvement_failfast),
+                   format_percent(resilient.improvement_resilient),
+                   format_percent(retained),
+                   std::to_string(resilient.stats.retries),
+                   std::to_string(resilient.stats.retry_successes),
+                   fmt(std::max(resilient.worst_overspend_s,
+                                failfast.worst_overspend_s), 1),
+                   budget_ok ? "yes" : "NO"});
+  }
+  bench::emit("T11: hierarchical-tuner improvement vs injected failure rate "
+              "(equal budget)",
+              table, "bench_t11_faults.csv");
+
+  // ---- curve 2: hostile mix at 15% ------------------------------------------
+  FaultOptions hostile;
+  hostile.deterministic_rate = 0.03;
+  hostile.hang_rate = 0.02;
+  const RatePoint mix_resilient = run_point(0.15, true, hostile);
+  const RatePoint mix_failfast = run_point(0.15, false, hostile);
+  TextTable mix({"harness", "improvement", "retries", "recovered",
+                 "quarantined", "quarantine_hits", "breaker_trips"});
+  mix.add_row({"fail-fast", format_percent(mix_failfast.improvement_failfast),
+               "0", "0", "0", "0", "0"});
+  mix.add_row({"resilient", format_percent(mix_resilient.improvement_resilient),
+               std::to_string(mix_resilient.stats.retries),
+               std::to_string(mix_resilient.stats.retry_successes),
+               std::to_string(mix_resilient.stats.quarantined),
+               std::to_string(mix_resilient.stats.quarantine_hits),
+               std::to_string(mix_resilient.stats.breaker_trips)});
+  bench::emit("T11b: hostile mix (15% flakes + 3% broken configs + 2% hangs)",
+              mix, "bench_t11_faults_mix.csv");
+
+  all_budget_ok =
+      all_budget_ok && mix_resilient.budget_ok && mix_failfast.budget_ok;
+  worst_overspend_s =
+      std::max({worst_overspend_s, mix_resilient.worst_overspend_s,
+                mix_failfast.worst_overspend_s});
+  std::printf("expected shape: resilient >= 80%% of fault-free improvement at "
+              "15%% flakes, graceful fade at 30%%, budget overshoot bounded by "
+              "one run\n");
+  std::printf("checks: retention at 15%% flakes %s (%.0f%% of fault-free), "
+              "budget invariant %s (worst overshoot %.1fs)\n",
+              retained_at_15 >= 0.80 ? "ok" : "FAILED",
+              100.0 * retained_at_15, all_budget_ok ? "ok" : "FAILED",
+              worst_overspend_s);
+  return 0;
+}

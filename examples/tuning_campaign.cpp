@@ -2,7 +2,12 @@
 // evaluation, write a CSV report, and print the per-workload winners —
 // the shape of a nightly "retune the fleet" job built on the library.
 //
-//   ./tuning_campaign [budget-minutes] [eval-threads] [workload...]
+// A non-zero fault rate simulates a degraded fleet: transient harness
+// flakes at the given rate (plus a sprinkle of broken configs and hangs),
+// with the resilient evaluation layer (retry / quarantine / circuit
+// breaker) keeping the campaign honest.
+//
+//   ./tuning_campaign [budget-minutes] [eval-threads] [fault-rate] [workload...]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -18,22 +23,29 @@ int main(int argc, char** argv) {
   const double budget_minutes = argc > 1 ? std::atof(argv[1]) : 150.0;
   const std::size_t eval_threads =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+  const double fault_rate = argc > 3 ? std::atof(argv[3]) : 0.0;
   std::vector<std::string> names;
-  for (int i = 3; i < argc; ++i) names.emplace_back(argv[i]);
+  for (int i = 4; i < argc; ++i) names.emplace_back(argv[i]);
   if (names.empty()) {
     names = {"startup.serial", "startup.crypto.aes", "avrora", "lusearch"};
   }
 
   jat::set_log_level(jat::LogLevel::kWarn);
   jat::JvmSimulator simulator;
-  jat::TextTable report(
-      {"workload", "default_ms", "tuned_ms", "improvement", "evals", "runs"});
+  jat::TextTable report({"workload", "default_ms", "tuned_ms", "improvement",
+                         "evals", "runs", "failures", "recovered"});
 
   for (const std::string& name : names) {
     const jat::WorkloadSpec& workload = jat::find_workload(name);
     jat::SessionOptions options;
     options.budget = jat::SimTime::minutes(budget_minutes);
     options.eval_threads = eval_threads;
+    if (fault_rate > 0.0) {
+      options.fault_injection.transient_rate = fault_rate;
+      options.fault_injection.deterministic_rate = fault_rate / 5.0;
+      options.fault_injection.hang_rate = fault_rate / 10.0;
+      options.resilient = true;
+    }
     jat::TuningSession session(simulator, workload, options);
 
     // The GA benefits most from parallel batch evaluation.
@@ -44,10 +56,16 @@ int main(int argc, char** argv) {
                     jat::fmt(outcome.best_ms, 0),
                     jat::format_percent(outcome.improvement_frac()),
                     std::to_string(outcome.evaluations),
-                    std::to_string(outcome.runs)});
+                    std::to_string(outcome.runs),
+                    std::to_string(outcome.fault_stats.failures()),
+                    std::to_string(outcome.fault_stats.retry_successes)});
     outcome.db->save_csv("campaign_" + name + ".csv");
     std::printf("%-24s best flags: %s\n", name.c_str(),
                 outcome.best_config.render_command_line().substr(0, 100).c_str());
+    if (outcome.fault_stats.failures() > 0) {
+      std::printf("%-24s faults: %s\n", "",
+                  outcome.fault_stats.to_string().c_str());
+    }
   }
 
   std::printf("\n%s\n", report.render().c_str());

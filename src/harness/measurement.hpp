@@ -10,12 +10,46 @@
 
 namespace jat {
 
+/// Failure taxonomy for the evaluation path. Real harnesses fail in ways
+/// that demand different responses: a transient flake is worth retrying, a
+/// config-caused crash is not, a hang costs the whole timeout, and a
+/// quarantined config should never be run again. Recovered measurements
+/// keep the class of the failure they recovered from, so the taxonomy
+/// survives into the result log.
+enum class FaultClass {
+  kNone = 0,
+  kTransient,      ///< infrastructure flake; retrying may succeed
+  kDeterministic,  ///< caused by the configuration; retrying is pointless
+  kTimeout,        ///< run exceeded the harness time limit (hang)
+  kQuarantined,    ///< answered from the quarantine list without running
+};
+
+constexpr const char* to_string(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kNone: return "none";
+    case FaultClass::kTransient: return "transient";
+    case FaultClass::kDeterministic: return "deterministic";
+    case FaultClass::kTimeout: return "timeout";
+    case FaultClass::kQuarantined: return "quarantined";
+  }
+  return "none";
+}
+
 struct Measurement {
   std::uint64_t config_fingerprint = 0;
   std::vector<double> times_ms;  ///< per-repetition total run time
   bool crashed = false;
   std::string crash_reason;
   SampleSummary summary;  ///< over times_ms (valid when !crashed)
+
+  /// Taxonomy of the worst failure seen while producing this measurement;
+  /// kNone for a clean one. A valid measurement can still carry a class
+  /// (some repetitions failed but were salvaged, or a retry recovered it).
+  FaultClass fault = FaultClass::kNone;
+  /// Evaluation attempts consumed (1 + retries by a resilience layer).
+  int attempts = 1;
+  /// Repetitions that crashed inside an otherwise valid measurement.
+  int failed_reps = 0;
 
   /// The tuning objective: mean run time in ms, lower is better. Crashed
   /// configurations are infinitely bad, like a failed run in the paper's

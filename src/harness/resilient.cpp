@@ -1,0 +1,122 @@
+#include "harness/resilient.hpp"
+
+#include <algorithm>
+
+namespace jat {
+
+ResilientEvaluator::ResilientEvaluator(Evaluator& inner,
+                                       ResilienceOptions options)
+    : inner_(&inner), options_(options) {
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  options_.quarantine_threshold = std::max(1, options_.quarantine_threshold);
+  options_.breaker_threshold = std::max(1, options_.breaker_threshold);
+}
+
+FaultStats ResilientEvaluator::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+bool ResilientEvaluator::breaker_open() const {
+  std::lock_guard lock(mutex_);
+  return breaker_open_;
+}
+
+std::size_t ResilientEvaluator::quarantine_size() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [fp, record] : records_) n += record.quarantined ? 1 : 0;
+  return n;
+}
+
+bool ResilientEvaluator::is_quarantined(std::uint64_t fingerprint) const {
+  std::lock_guard lock(mutex_);
+  const auto it = records_.find(fingerprint);
+  return it != records_.end() && it->second.quarantined;
+}
+
+Measurement ResilientEvaluator::measure(const Configuration& config,
+                                        BudgetClock* budget) {
+  const std::uint64_t fingerprint = config.fingerprint();
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = records_.find(fingerprint);
+    if (it != records_.end() && it->second.quarantined) {
+      ++stats_.quarantine_hits;
+      Measurement m;
+      m.config_fingerprint = fingerprint;
+      m.crashed = true;
+      m.fault = FaultClass::kQuarantined;
+      m.crash_reason = "quarantined: " + it->second.reason;
+      if (budget != nullptr) {
+        budget->charge(SimTime::seconds(options_.quarantine_answer_cost_s));
+      }
+      return m;
+    }
+  }
+
+  Measurement m;
+  int attempt = 0;
+  FaultClass recovered_from = FaultClass::kNone;
+  for (;;) {
+    m = inner_->measure(config, budget);
+
+    // Salvage: a measurement with at least one valid repetition is a noisy
+    // result, not a crash. BenchmarkRunner already does this for its own
+    // repetitions; this covers evaluators that do not.
+    if (m.crashed && !m.times_ms.empty()) {
+      m.crashed = false;
+      m.failed_reps = std::max(m.failed_reps, 1);
+      std::lock_guard lock(mutex_);
+      ++stats_.salvaged;
+    }
+
+    if (!m.crashed) break;
+
+    bool retry;
+    {
+      std::lock_guard lock(mutex_);
+      retry = m.fault == FaultClass::kTransient &&
+              attempt + 1 < options_.max_attempts && !breaker_open_ &&
+              (budget == nullptr || !budget->exhausted());
+      if (retry) ++stats_.retries;
+    }
+    if (!retry) break;
+    recovered_from = m.fault;
+    ++attempt;
+  }
+  m.attempts = attempt + 1;
+  // A recovered measurement keeps the class of the failure it survived, so
+  // the taxonomy stays visible in the result log.
+  if (!m.crashed && m.fault == FaultClass::kNone) m.fault = recovered_from;
+
+  std::lock_guard lock(mutex_);
+  if (!m.crashed) {
+    if (attempt > 0) ++stats_.retry_successes;
+    consecutive_failures_ = 0;
+    breaker_open_ = false;
+    // A success proves the config is not deterministically broken; forget
+    // any stale hard-failure count so transient-only configs are never at
+    // risk of quarantine.
+    records_.erase(fingerprint);
+    return m;
+  }
+
+  if (m.fault == FaultClass::kDeterministic ||
+      m.fault == FaultClass::kTimeout) {
+    CrashRecord& record = records_[fingerprint];
+    record.reason = m.crash_reason;
+    if (!record.quarantined &&
+        ++record.hard_failures >= options_.quarantine_threshold) {
+      record.quarantined = true;
+      ++stats_.quarantined;
+    }
+  }
+  if (++consecutive_failures_ >= options_.breaker_threshold && !breaker_open_) {
+    breaker_open_ = true;
+    ++stats_.breaker_trips;
+  }
+  return m;
+}
+
+}  // namespace jat

@@ -1,0 +1,76 @@
+// Fault tolerance for the evaluation path: retry, quarantine, and a
+// circuit breaker between the tuner and a failure-prone evaluator.
+//
+// A tuner that treats every failure identically wastes budget three ways:
+// it abandons candidates whose only sin was an infrastructure flake, it
+// re-runs configurations already known to crash the JVM, and under a fully
+// broken harness it keeps paying full price for measurements that cannot
+// succeed. ResilientEvaluator addresses each with the standard production
+// patterns: bounded retry for transient failures (budget-charged, so the
+// accounting stays honest), per-fingerprint crash quarantine (known-bad
+// configs are answered instantly), and an evaluator-wide circuit breaker
+// (consecutive failures across distinct configs degrade it to fail-fast).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "harness/evaluator.hpp"
+#include "harness/fault.hpp"
+
+namespace jat {
+
+struct ResilienceOptions {
+  /// Total attempts per measurement (1 = no retry). Only failures tagged
+  /// FaultClass::kTransient are retried; config-caused crashes and
+  /// timeouts fail on every attempt, so retrying them burns budget for
+  /// nothing.
+  int max_attempts = 3;
+  /// Hard (deterministic / timeout) failures of one fingerprint before it
+  /// is quarantined: later measurements are answered instantly from the
+  /// blacklist instead of re-running a config known to crash the JVM.
+  int quarantine_threshold = 2;
+  /// Consecutive failed measurements (across configurations) before the
+  /// circuit breaker opens and retrying stops — when the whole harness is
+  /// down, paying the retry tax per candidate only drains the budget
+  /// faster. A single success closes the breaker.
+  int breaker_threshold = 10;
+  /// Nominal cost of a quarantine answer (a result-database lookup).
+  double quarantine_answer_cost_s = 0.05;
+};
+
+class ResilientEvaluator : public Evaluator {
+ public:
+  ResilientEvaluator(Evaluator& inner, ResilienceOptions options = {});
+
+  Measurement measure(const Configuration& config,
+                      BudgetClock* budget) override;
+
+  const ResilienceOptions& resilience_options() const { return options_; }
+  /// Counters for the recovery actions taken so far (snapshot; thread-safe).
+  FaultStats stats() const;
+
+  bool breaker_open() const;
+  std::size_t quarantine_size() const;
+  bool is_quarantined(std::uint64_t fingerprint) const;
+
+ private:
+  struct CrashRecord {
+    int hard_failures = 0;  ///< deterministic/timeout failures seen
+    bool quarantined = false;
+    std::string reason;  ///< last hard-failure reason, kept for the answer
+  };
+
+  Evaluator* inner_;
+  ResilienceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, CrashRecord> records_;
+  int consecutive_failures_ = 0;
+  bool breaker_open_ = false;
+  FaultStats stats_;
+};
+
+}  // namespace jat

@@ -1,6 +1,7 @@
 #include "harness/result_db.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <limits>
 
@@ -8,7 +9,8 @@ namespace jat {
 
 std::int64_t ResultDb::record(std::uint64_t fingerprint, double objective_ms,
                               SimTime budget_spent, std::string command_line,
-                              std::string phase) {
+                              std::string phase, FaultClass fault,
+                              std::string crash_reason, int attempts) {
   std::lock_guard lock(mutex_);
   EvalRecord rec;
   rec.index = static_cast<std::int64_t>(records_.size());
@@ -17,6 +19,9 @@ std::int64_t ResultDb::record(std::uint64_t fingerprint, double objective_ms,
   rec.budget_spent = budget_spent;
   rec.command_line = std::move(command_line);
   rec.phase = std::move(phase);
+  rec.fault = fault;
+  rec.crash_reason = std::move(crash_reason);
+  rec.attempts = attempts;
   records_.push_back(std::move(rec));
   return records_.back().index;
 }
@@ -69,14 +74,29 @@ double ResultDb::best_at(SimTime budget_position) const {
   return best;
 }
 
+FaultStats ResultDb::fault_counts() const {
+  std::lock_guard lock(mutex_);
+  FaultStats stats;
+  for (const auto& rec : records_) {
+    count_fault(stats, rec.fault);
+    if (rec.attempts > 1) {
+      stats.retries += rec.attempts - 1;
+      if (std::isfinite(rec.objective_ms)) ++stats.retry_successes;
+    }
+  }
+  return stats;
+}
+
 bool ResultDb::save_csv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
-  out << "index,fingerprint,objective_ms,budget_spent_s,phase,command_line\n";
+  out << "index,fingerprint,objective_ms,budget_spent_s,phase,fault,attempts,"
+         "crash_reason,command_line\n";
   for (const auto& rec : all()) {
     out << rec.index << ',' << rec.fingerprint << ',' << rec.objective_ms << ','
-        << rec.budget_spent.as_seconds() << ',' << rec.phase << ",\""
-        << rec.command_line << "\"\n";
+        << rec.budget_spent.as_seconds() << ',' << rec.phase << ','
+        << to_string(rec.fault) << ',' << rec.attempts << ",\""
+        << rec.crash_reason << "\",\"" << rec.command_line << "\"\n";
   }
   return static_cast<bool>(out);
 }

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/fault.hpp"
+#include "harness/measurement.hpp"
 #include "support/sim_time.hpp"
 
 namespace jat {
@@ -20,6 +22,9 @@ struct EvalRecord {
   SimTime budget_spent;              ///< budget position when recorded
   std::string command_line;          ///< non-default flags
   std::string phase;                 ///< tuner-defined label ("structural", ...)
+  FaultClass fault = FaultClass::kNone;  ///< failure taxonomy of the evaluation
+  std::string crash_reason;          ///< empty for clean evaluations
+  int attempts = 1;                  ///< evaluation attempts (1 + retries)
 };
 
 class ResultDb {
@@ -27,7 +32,9 @@ class ResultDb {
   /// Appends a record (thread-safe); returns its index.
   std::int64_t record(std::uint64_t fingerprint, double objective_ms,
                       SimTime budget_spent, std::string command_line,
-                      std::string phase = "");
+                      std::string phase = "",
+                      FaultClass fault = FaultClass::kNone,
+                      std::string crash_reason = "", int attempts = 1);
 
   std::size_t size() const;
   EvalRecord get(std::size_t index) const;
@@ -44,7 +51,13 @@ class ResultDb {
   /// +inf before the first finite result.
   double best_at(SimTime budget_position) const;
 
-  /// Writes all records as CSV ("index,fingerprint,objective_ms,...").
+  /// Failure-taxonomy counters over the recorded evaluations (final
+  /// per-measurement outcomes; retries absorbed inside a measurement are
+  /// only visible in its `attempts`).
+  FaultStats fault_counts() const;
+
+  /// Writes all records as CSV ("index,fingerprint,objective_ms,...");
+  /// the column schema is documented in EXPERIMENTS.md.
   bool save_csv(const std::string& path) const;
 
  private:

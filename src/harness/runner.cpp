@@ -1,5 +1,7 @@
 #include "harness/runner.hpp"
 
+#include <string>
+
 #include "support/rng.hpp"
 
 namespace jat {
@@ -14,9 +16,16 @@ BenchmarkRunner::BenchmarkRunner(const JvmSimulator& simulator,
                                  WorkloadSpec workload, RunnerOptions options)
     : simulator_(&simulator), workload_(std::move(workload)), options_(options) {}
 
+FaultStats BenchmarkRunner::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
 Measurement BenchmarkRunner::measure(const Configuration& config,
                                      BudgetClock* budget) {
   const std::uint64_t fingerprint = config.fingerprint();
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
   {
     std::lock_guard lock(mutex_);
     const auto it = cache_.find(fingerprint);
@@ -27,13 +36,65 @@ Measurement BenchmarkRunner::measure(const Configuration& config,
       }
       return it->second;
     }
+    const auto in_flight = in_flight_.find(fingerprint);
+    if (in_flight != in_flight_.end()) {
+      flight = in_flight->second;
+    } else {
+      flight = std::make_shared<InFlight>();
+      in_flight_.emplace(fingerprint, flight);
+      leader = true;
+    }
   }
 
-  Measurement measurement = measure_uncached(config, budget);
+  if (!leader) {
+    // Single-flight: another thread is already measuring this fingerprint.
+    // Wait for its result; like a cache hit, only the lookup cost is
+    // charged — the simulator runs once per configuration.
+    std::unique_lock wait_lock(flight->m);
+    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    {
+      std::lock_guard lock(mutex_);
+      ++cache_hits_;
+    }
+    if (budget != nullptr) {
+      budget->charge(SimTime::seconds(kCacheHitOverheadSeconds));
+    }
+    return flight->result;
+  }
+
+  Measurement measurement;
+  try {
+    measurement = measure_uncached(config, budget);
+  } catch (...) {
+    // Never leave followers waiting on a leader that died: publish a crash
+    // and re-throw.
+    measurement.config_fingerprint = fingerprint;
+    measurement.crashed = true;
+    measurement.crash_reason = "evaluator exception";
+    measurement.fault = FaultClass::kDeterministic;
+    {
+      std::lock_guard lock(mutex_);
+      in_flight_.erase(fingerprint);
+    }
+    {
+      std::lock_guard done_lock(flight->m);
+      flight->result = measurement;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    throw;
+  }
   {
     std::lock_guard lock(mutex_);
     cache_.emplace(fingerprint, measurement);
+    in_flight_.erase(fingerprint);
   }
+  {
+    std::lock_guard done_lock(flight->m);
+    flight->result = measurement;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
   return measurement;
 }
 
@@ -42,6 +103,10 @@ Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
   Measurement m;
   m.config_fingerprint = config.fingerprint();
   m.times_ms.reserve(static_cast<std::size_t>(options_.repetitions));
+
+  int failed_reps = 0;
+  FaultClass worst_fault = FaultClass::kNone;
+  std::string last_crash_reason;
 
   for (int rep = 0; rep < options_.repetitions; ++rep) {
     const std::uint64_t seed =
@@ -61,28 +126,56 @@ Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
                      SimTime::seconds(options_.per_run_overhead_s));
     }
     if (run.crashed) {
-      m.crashed = true;
-      m.crash_reason = run.crash_reason;
+      ++failed_reps;
+      last_crash_reason = run.crash_reason;
+      // The simulator is deterministic, so its crashes are config-caused;
+      // only the harness time limit marks a run as a hang.
+      const FaultClass fault = run.crash_reason == "harness timeout"
+                                   ? FaultClass::kTimeout
+                                   : FaultClass::kDeterministic;
+      if (fault == FaultClass::kTimeout || worst_fault == FaultClass::kNone) {
+        worst_fault = fault;
+      }
+      {
+        std::lock_guard lock(mutex_);
+        count_fault(stats_, fault);
+      }
       if (options_.fail_fast) break;
-      continue;
-    }
-    m.times_ms.push_back(run.total_time.as_millis());
+    } else {
+      m.times_ms.push_back(run.total_time.as_millis());
 
-    // Racing: abandon clear losers after their first repetition.
-    if (rep == 0 && options_.racing_factor > 0.0) {
-      const double first = run.total_time.as_millis();
-      std::lock_guard lock(mutex_);
-      if (best_first_rep_ms_ > 0.0 &&
-          first > best_first_rep_ms_ * options_.racing_factor) {
-        break;
-      }
-      if (best_first_rep_ms_ == 0.0 || first < best_first_rep_ms_) {
-        best_first_rep_ms_ = first;
+      // Racing: abandon clear losers after their first repetition.
+      if (rep == 0 && options_.racing_factor > 0.0) {
+        const double first = run.total_time.as_millis();
+        std::lock_guard lock(mutex_);
+        if (best_first_rep_ms_ > 0.0 &&
+            first > best_first_rep_ms_ * options_.racing_factor) {
+          break;
+        }
+        if (best_first_rep_ms_ == 0.0 || first < best_first_rep_ms_) {
+          best_first_rep_ms_ = first;
+        }
       }
     }
+    // Keep the overshoot bounded by one run: once the budget expires
+    // mid-measurement, what has been collected so far is the measurement.
+    if (budget != nullptr && budget->exhausted()) break;
   }
-  if (!m.times_ms.empty()) m.summary = summarize(m.times_ms);
-  if (m.times_ms.empty()) m.crashed = true;
+
+  m.failed_reps = failed_reps;
+  m.fault = worst_fault;
+  if (!m.times_ms.empty()) {
+    // At least one repetition succeeded: a noisy result, not a crash. The
+    // failure count stays visible in failed_reps / FaultStats.
+    m.summary = summarize(m.times_ms);
+    if (failed_reps > 0) {
+      std::lock_guard lock(mutex_);
+      ++stats_.salvaged;
+    }
+  } else {
+    m.crashed = true;
+    m.crash_reason = std::move(last_crash_reason);
+  }
   return m;
 }
 

@@ -2,13 +2,16 @@
 // tuning budget, and caches by configuration fingerprint.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "flags/configuration.hpp"
 #include "harness/budget.hpp"
 #include "harness/evaluator.hpp"
+#include "harness/fault.hpp"
 #include "harness/measurement.hpp"
 #include "jvmsim/engine.hpp"
 #include "workloads/workload.hpp"
@@ -45,7 +48,10 @@ class BenchmarkRunner : public Evaluator {
 
   /// Measures a configuration. Charges `budget` (when given) for every run
   /// actually executed; cache hits are nearly free, as a real tuner's
-  /// result database would make them. Thread-safe.
+  /// result database would make them. Concurrent misses on the same
+  /// fingerprint are single-flight: one thread runs the simulator, the
+  /// rest wait for its result and are charged like a cache hit, so the
+  /// budget is never double-charged for one configuration. Thread-safe.
   Measurement measure(const Configuration& config,
                       BudgetClock* budget = nullptr) override;
 
@@ -60,7 +66,21 @@ class BenchmarkRunner : public Evaluator {
   std::int64_t runs_executed() const { return runs_executed_; }
   std::int64_t cache_hits() const { return cache_hits_; }
 
+  /// Rep-level failure counters: timeouts and crashes absorbed into
+  /// measurements, and how many partially-failed measurements were
+  /// salvaged into valid results.
+  FaultStats stats() const;
+
  private:
+  /// A cache miss in progress: the leader publishes its result here and
+  /// wakes the followers waiting on the same fingerprint.
+  struct InFlight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Measurement result;
+  };
+
   Measurement measure_uncached(const Configuration& config, BudgetClock* budget);
 
   const JvmSimulator* simulator_;
@@ -68,11 +88,13 @@ class BenchmarkRunner : public Evaluator {
   RunnerOptions options_;
   SimTime time_limit_ = SimTime::infinite();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Measurement> cache_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> in_flight_;
   std::int64_t runs_executed_ = 0;
   std::int64_t cache_hits_ = 0;
   double best_first_rep_ms_ = 0.0;  ///< 0 until the first finite first rep
+  FaultStats stats_;
 };
 
 }  // namespace jat

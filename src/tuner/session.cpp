@@ -18,6 +18,23 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
   runner_options.racing_factor = options_.racing_factor;
   BenchmarkRunner runner(*simulator_, workload_, runner_options);
 
+  // The evaluation chain the tuner searches against: runner, optionally a
+  // fault injector (hostile-harness experiments), optionally the
+  // retry/quarantine/circuit-breaker layer on top.
+  Evaluator* evaluator = &runner;
+  std::unique_ptr<FaultInjectingEvaluator> injector;
+  if (options_.fault_injection.any()) {
+    injector =
+        std::make_unique<FaultInjectingEvaluator>(*evaluator, options_.fault_injection);
+    evaluator = injector.get();
+  }
+  std::unique_ptr<ResilientEvaluator> resilient;
+  if (options_.resilient) {
+    resilient =
+        std::make_unique<ResilientEvaluator>(*evaluator, options_.resilience);
+    evaluator = resilient.get();
+  }
+
   BudgetClock budget(options_.budget);
   auto db = std::make_shared<ResultDb>();
   const SearchSpace space(FlagHierarchy::hotspot());
@@ -28,7 +45,7 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
   }
 
   Rng rng(mix64(options_.seed, fnv1a64(tuner.name())));
-  TuningContext ctx(runner, budget, *db, space, rng, pool.get());
+  TuningContext ctx(*evaluator, budget, *db, space, rng, pool.get());
 
   // Baseline: the default configuration, charged to the same budget —
   // the paper's harness measures it as its first candidate too.
@@ -67,6 +84,10 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
     validated_best = validated_default;
   }
 
+  FaultStats fault_stats = runner.stats();
+  if (injector) fault_stats += injector->stats();
+  if (resilient) fault_stats += resilient->stats();
+
   TuningOutcome outcome{.workload_name = workload_.name,
                         .tuner_name = tuner.name(),
                         .best_config = best_config,
@@ -76,11 +97,16 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
                         .runs = runner.runs_executed(),
                         .cache_hits = runner.cache_hits(),
                         .budget_spent = budget.spent(),
+                        .fault_stats = fault_stats,
                         .db = db};
 
   log_info() << "  best " << fmt(outcome.best_ms, 0) << " ms ("
              << format_percent(outcome.improvement_frac()) << " improvement, "
              << outcome.evaluations << " evals, " << outcome.runs << " runs)";
+  if (fault_stats.failures() > 0 || fault_stats.quarantine_hits > 0 ||
+      fault_stats.salvaged > 0) {
+    log_info() << "  faults: " << fault_stats.to_string();
+  }
   return outcome;
 }
 

@@ -12,6 +12,8 @@
 #include <memory>
 #include <string>
 
+#include "harness/fault.hpp"
+#include "harness/resilient.hpp"
 #include "jvmsim/engine.hpp"
 #include "tuner/algorithms.hpp"
 #include "tuner/tuner.hpp"
@@ -34,6 +36,14 @@ struct SessionOptions {
   /// Racing factor forwarded to the search runner (see RunnerOptions);
   /// the validation pass always uses full repetitions regardless.
   double racing_factor = 0.0;
+  /// Injected-fault model layered over the search runner (all rates zero =
+  /// no injection). The validation pass always runs on a clean harness:
+  /// it models re-measuring the winner once the infrastructure recovered.
+  FaultOptions fault_injection;
+  /// Put the retry/quarantine/circuit-breaker layer between tuner and
+  /// evaluator (see harness/resilient.hpp).
+  bool resilient = false;
+  ResilienceOptions resilience;
 };
 
 struct TuningOutcome {
@@ -58,6 +68,10 @@ struct TuningOutcome {
   std::int64_t runs = 0;         ///< simulated JVM launches
   std::int64_t cache_hits = 0;
   SimTime budget_spent;
+  /// Failure taxonomy + recovery actions over the whole session: rep-level
+  /// counters from the runner, injected faults, and the resilience layer's
+  /// retry/quarantine/breaker activity (each layer counts its own events).
+  FaultStats fault_stats;
   std::shared_ptr<ResultDb> db;  ///< full evaluation log (trajectories)
 };
 

@@ -31,7 +31,8 @@ double TuningContext::evaluate(const Configuration& config) {
     phase = phase_;
   }
   db_->record(config.fingerprint(), objective, budget_->spent(),
-              config.render_command_line(), phase);
+              config.render_command_line(), phase, m.fault, m.crash_reason,
+              m.attempts);
   consider(config, objective);
   return objective;
 }
