@@ -2,11 +2,15 @@
 //
 // For four representative programs, reports the incumbent improvement at
 // budget checkpoints from 25 to 200 simulated minutes, reconstructed from
-// the session's evaluation log. The paper's corresponding figure motivates
-// the 200-minute budget: curves saturate within it.
+// the session's structured trace (the same staircase tools/trace_report
+// prints — the bench exercises the trace path end to end rather than
+// peeking at the ResultDb). The paper's corresponding figure motivates the
+// 200-minute budget: curves saturate within it.
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness/trace_analysis.hpp"
+#include "support/trace.hpp"
 #include "support/units.hpp"
 #include "workloads/suites.hpp"
 
@@ -28,17 +32,21 @@ int main() {
 
   for (const auto& name : programs) {
     const WorkloadSpec& workload = find_workload(name);
+    TraceSink trace;
     SessionOptions options = bench::session_options(scale);
     options.budget = SimTime::minutes(checkpoints_min.back()) *
                      (scale.level <= 0 ? 0.25 : 1.0);
+    options.trace = &trace;
     TuningSession session(simulator, workload, options);
     HierarchicalTuner tuner;
     const TuningOutcome outcome = session.run(tuner);
+    const std::vector<SessionTrace> sessions = analyze_trace(trace.events());
+    const SessionTrace& st = sessions.back();
 
     std::vector<std::string> row = {name, fmt(outcome.default_ms, 0)};
     for (double m : checkpoints_min) {
-      const double at = outcome.db->best_at(
-          SimTime::minutes(m) * (scale.level <= 0 ? 0.25 : 1.0));
+      const double at =
+          st.best_at(SimTime::minutes(m) * (scale.level <= 0 ? 0.25 : 1.0));
       const double improvement =
           std::isfinite(at) ? (outcome.default_ms - at) / outcome.default_ms : 0.0;
       row.push_back(format_percent(improvement));

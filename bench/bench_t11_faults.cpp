@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness/trace_analysis.hpp"
 #include "support/statistics.hpp"
+#include "support/trace.hpp"
 #include "support/units.hpp"
 #include "workloads/suites.hpp"
 
@@ -27,6 +29,13 @@ struct RatePoint {
   double improvement_resilient = 0;
   double improvement_failfast = 0;
   jat::FaultStats stats;
+  // Recovery counters reconstructed from the session traces (retry /
+  // quarantine / breaker events) — the same numbers trace_report prints.
+  std::int64_t retries = 0;
+  std::int64_t recovered = 0;
+  std::int64_t quarantined = 0;
+  std::int64_t quarantine_hits = 0;
+  std::int64_t breaker_trips = 0;
   bool budget_ok = true;
   double worst_overspend_s = 0;
 };
@@ -49,17 +58,26 @@ int main() {
     std::vector<double> improvements;
     for (const auto& name : programs) {
       const WorkloadSpec& workload = find_workload(name);
+      TraceSink trace;
       SessionOptions options = bench::session_options(scale);
       options.budget =
           options.budget * std::max(1.0, workload.total_work / 6000.0);
       options.fault_injection = extra;
       options.fault_injection.transient_rate = rate;
       options.resilient = resilient;
+      options.trace = &trace;
       TuningSession session(simulator, workload, options);
       HierarchicalTuner tuner;
       const TuningOutcome outcome = session.run(tuner);
       improvements.push_back(outcome.improvement_frac());
       point.stats += outcome.fault_stats;
+      const std::vector<SessionTrace> sessions = analyze_trace(trace.events());
+      const SessionTrace& st = sessions.back();
+      point.retries += st.retries;
+      point.recovered += st.recovered;
+      point.quarantined += st.quarantined;
+      point.quarantine_hits += st.quarantine_hits;
+      point.breaker_trips += st.breaker_trips;
 
       // Budget invariant: the clock may overshoot only by the one run in
       // flight when it expired — a candidate's time-limited run plus its
@@ -106,8 +124,8 @@ int main() {
                    format_percent(failfast.improvement_failfast),
                    format_percent(resilient.improvement_resilient),
                    format_percent(retained),
-                   std::to_string(resilient.stats.retries),
-                   std::to_string(resilient.stats.retry_successes),
+                   std::to_string(resilient.retries),
+                   std::to_string(resilient.recovered),
                    fmt(std::max(resilient.worst_overspend_s,
                                 failfast.worst_overspend_s), 1),
                    budget_ok ? "yes" : "NO"});
@@ -127,11 +145,11 @@ int main() {
   mix.add_row({"fail-fast", format_percent(mix_failfast.improvement_failfast),
                "0", "0", "0", "0", "0"});
   mix.add_row({"resilient", format_percent(mix_resilient.improvement_resilient),
-               std::to_string(mix_resilient.stats.retries),
-               std::to_string(mix_resilient.stats.retry_successes),
-               std::to_string(mix_resilient.stats.quarantined),
-               std::to_string(mix_resilient.stats.quarantine_hits),
-               std::to_string(mix_resilient.stats.breaker_trips)});
+               std::to_string(mix_resilient.retries),
+               std::to_string(mix_resilient.recovered),
+               std::to_string(mix_resilient.quarantined),
+               std::to_string(mix_resilient.quarantine_hits),
+               std::to_string(mix_resilient.breaker_trips)});
   bench::emit("T11b: hostile mix (15% flakes + 3% broken configs + 2% hangs)",
               mix, "bench_t11_faults_mix.csv");
 

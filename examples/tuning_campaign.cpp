@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "harness/trace_analysis.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 #include "support/units.hpp"
 #include "tuner/session.hpp"
 #include "workloads/suites.hpp"
@@ -37,9 +39,11 @@ int main(int argc, char** argv) {
 
   for (const std::string& name : names) {
     const jat::WorkloadSpec& workload = jat::find_workload(name);
+    jat::TraceSink trace;
     jat::SessionOptions options;
     options.budget = jat::SimTime::minutes(budget_minutes);
     options.eval_threads = eval_threads;
+    options.trace = &trace;
     if (fault_rate > 0.0) {
       options.fault_injection.transient_rate = fault_rate;
       options.fault_injection.deterministic_rate = fault_rate / 5.0;
@@ -52,14 +56,25 @@ int main(int argc, char** argv) {
     jat::GeneticTuner tuner;
     const jat::TuningOutcome outcome = session.run(tuner);
 
+    // Failure/recovery numbers come from the trace — the same events
+    // trace_report reads, so the report and the saved trace always agree.
+    const jat::SessionTrace st = jat::analyze_trace(trace.events()).back();
+    std::int64_t failed_evals = 0;
+    for (const jat::TraceEvent& e : st.events) {
+      if (e.type == "eval" && e.get_string("fault", "none") != "none") {
+        ++failed_evals;
+      }
+    }
+
     report.add_row({name, jat::fmt(outcome.default_ms, 0),
                     jat::fmt(outcome.best_ms, 0),
                     jat::format_percent(outcome.improvement_frac()),
                     std::to_string(outcome.evaluations),
                     std::to_string(outcome.runs),
-                    std::to_string(outcome.fault_stats.failures()),
-                    std::to_string(outcome.fault_stats.retry_successes)});
+                    std::to_string(failed_evals),
+                    std::to_string(st.recovered)});
     outcome.db->save_csv("campaign_" + name + ".csv");
+    trace.save_jsonl("campaign_" + name + ".trace.jsonl");
     std::printf("%-24s best flags: %s\n", name.c_str(),
                 outcome.best_config.render_command_line().substr(0, 100).c_str());
     if (outcome.fault_stats.failures() > 0) {
@@ -71,7 +86,8 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", report.render().c_str());
   if (report.save_csv("campaign_report.csv")) {
     std::printf("report saved to campaign_report.csv; per-workload evaluation "
-                "logs in campaign_<name>.csv\n");
+                "logs in campaign_<name>.csv, traces in "
+                "campaign_<name>.trace.jsonl (inspect with trace_report)\n");
   }
   return 0;
 }

@@ -4,6 +4,12 @@
 
 namespace jat {
 
+namespace {
+SimTime budget_position(const BudgetClock* budget) {
+  return budget != nullptr ? budget->spent() : SimTime::zero();
+}
+}  // namespace
+
 ResilientEvaluator::ResilientEvaluator(Evaluator& inner,
                                        ResilienceOptions options)
     : inner_(&inner), options_(options) {
@@ -43,6 +49,11 @@ Measurement ResilientEvaluator::measure(const Configuration& config,
     const auto it = records_.find(fingerprint);
     if (it != records_.end() && it->second.quarantined) {
       ++stats_.quarantine_hits;
+      if (trace_ != nullptr) {
+        trace_->emit(TraceEvent("quarantine_hit", budget_position(budget))
+                         .with("fingerprint", fingerprint_hex(fingerprint)));
+        trace_->metrics().add("resilient.quarantine_hits");
+      }
       Measurement m;
       m.config_fingerprint = fingerprint;
       m.crashed = true;
@@ -84,37 +95,66 @@ Measurement ResilientEvaluator::measure(const Configuration& config,
     if (!retry) break;
     recovered_from = m.fault;
     ++attempt;
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEvent("retry", budget_position(budget))
+                       .with("fingerprint", fingerprint_hex(fingerprint))
+                       .with("attempt", static_cast<std::int64_t>(attempt))
+                       .with("fault", std::string(to_string(m.fault))));
+      trace_->metrics().add("resilient.retries");
+    }
   }
   m.attempts = attempt + 1;
   // A recovered measurement keeps the class of the failure it survived, so
   // the taxonomy stays visible in the result log.
   if (!m.crashed && m.fault == FaultClass::kNone) m.fault = recovered_from;
 
-  std::lock_guard lock(mutex_);
-  if (!m.crashed) {
-    if (attempt > 0) ++stats_.retry_successes;
-    consecutive_failures_ = 0;
-    breaker_open_ = false;
-    // A success proves the config is not deterministically broken; forget
-    // any stale hard-failure count so transient-only configs are never at
-    // risk of quarantine.
-    records_.erase(fingerprint);
-    return m;
-  }
-
-  if (m.fault == FaultClass::kDeterministic ||
-      m.fault == FaultClass::kTimeout) {
-    CrashRecord& record = records_[fingerprint];
-    record.reason = m.crash_reason;
-    if (!record.quarantined &&
-        ++record.hard_failures >= options_.quarantine_threshold) {
-      record.quarantined = true;
-      ++stats_.quarantined;
+  bool quarantined_now = false;
+  std::string quarantine_reason;
+  int breaker_transition = 0;  // +1 opened, -1 closed
+  {
+    std::lock_guard lock(mutex_);
+    if (!m.crashed) {
+      if (attempt > 0) ++stats_.retry_successes;
+      consecutive_failures_ = 0;
+      if (breaker_open_) breaker_transition = -1;
+      breaker_open_ = false;
+      // A success proves the config is not deterministically broken; forget
+      // any stale hard-failure count so transient-only configs are never at
+      // risk of quarantine.
+      records_.erase(fingerprint);
+    } else {
+      if (m.fault == FaultClass::kDeterministic ||
+          m.fault == FaultClass::kTimeout) {
+        CrashRecord& record = records_[fingerprint];
+        record.reason = m.crash_reason;
+        if (!record.quarantined &&
+            ++record.hard_failures >= options_.quarantine_threshold) {
+          record.quarantined = true;
+          ++stats_.quarantined;
+          quarantined_now = true;
+          quarantine_reason = record.reason;
+        }
+      }
+      if (++consecutive_failures_ >= options_.breaker_threshold &&
+          !breaker_open_) {
+        breaker_open_ = true;
+        ++stats_.breaker_trips;
+        breaker_transition = 1;
+      }
     }
   }
-  if (++consecutive_failures_ >= options_.breaker_threshold && !breaker_open_) {
-    breaker_open_ = true;
-    ++stats_.breaker_trips;
+  if (trace_ != nullptr) {
+    if (quarantined_now) {
+      trace_->emit(TraceEvent("quarantine", budget_position(budget))
+                       .with("fingerprint", fingerprint_hex(fingerprint))
+                       .with("reason", quarantine_reason));
+      trace_->metrics().add("resilient.quarantined");
+    }
+    if (breaker_transition != 0) {
+      trace_->emit(TraceEvent("breaker", budget_position(budget))
+                       .with("open", breaker_transition > 0));
+      if (breaker_transition > 0) trace_->metrics().add("resilient.breaker_trips");
+    }
   }
   return m;
 }

@@ -19,6 +19,7 @@
 
 #include "harness/evaluator.hpp"
 #include "harness/fault.hpp"
+#include "support/trace.hpp"
 
 namespace jat {
 
@@ -56,6 +57,11 @@ class ResilientEvaluator : public Evaluator {
   std::size_t quarantine_size() const;
   bool is_quarantined(std::uint64_t fingerprint) const;
 
+  /// Attaches a trace sink (null to detach): retries, quarantine decisions
+  /// and answers, and breaker transitions are emitted as typed events and
+  /// counted in the sink's metrics.
+  void set_trace_sink(TraceSink* trace) { trace_ = trace; }
+
  private:
   struct CrashRecord {
     int hard_failures = 0;  ///< deterministic/timeout failures seen
@@ -65,6 +71,7 @@ class ResilientEvaluator : public Evaluator {
 
   Evaluator* inner_;
   ResilienceOptions options_;
+  TraceSink* trace_ = nullptr;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, CrashRecord> records_;

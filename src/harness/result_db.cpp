@@ -5,6 +5,8 @@
 #include <fstream>
 #include <limits>
 
+#include "support/table.hpp"
+
 namespace jat {
 
 std::int64_t ResultDb::record(std::uint64_t fingerprint, double objective_ms,
@@ -94,9 +96,10 @@ bool ResultDb::save_csv(const std::string& path) const {
          "crash_reason,command_line\n";
   for (const auto& rec : all()) {
     out << rec.index << ',' << rec.fingerprint << ',' << rec.objective_ms << ','
-        << rec.budget_spent.as_seconds() << ',' << rec.phase << ','
-        << to_string(rec.fault) << ',' << rec.attempts << ",\""
-        << rec.crash_reason << "\",\"" << rec.command_line << "\"\n";
+        << rec.budget_spent.as_seconds() << ',' << csv_quote(rec.phase) << ','
+        << to_string(rec.fault) << ',' << rec.attempts << ','
+        << csv_quote(rec.crash_reason) << ',' << csv_quote(rec.command_line)
+        << "\n";
   }
   return static_cast<bool>(out);
 }

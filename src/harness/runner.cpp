@@ -21,6 +21,17 @@ FaultStats BenchmarkRunner::stats() const {
   return stats_;
 }
 
+void BenchmarkRunner::trace_cache_hit(std::uint64_t fingerprint, bool joined,
+                                      BudgetClock* budget) {
+  if (trace_ == nullptr) return;
+  trace_->emit(TraceEvent("cache_hit",
+                          budget != nullptr ? budget->spent() : SimTime::zero())
+                   .with("fingerprint", fingerprint_hex(fingerprint))
+                   .with("joined", joined));
+  trace_->metrics().add(joined ? "runner.single_flight_joins"
+                               : "runner.cache_hits");
+}
+
 Measurement BenchmarkRunner::measure(const Configuration& config,
                                      BudgetClock* budget) {
   const std::uint64_t fingerprint = config.fingerprint();
@@ -34,6 +45,7 @@ Measurement BenchmarkRunner::measure(const Configuration& config,
       if (budget != nullptr) {
         budget->charge(SimTime::seconds(kCacheHitOverheadSeconds));
       }
+      trace_cache_hit(fingerprint, /*joined=*/false, budget);
       return it->second;
     }
     const auto in_flight = in_flight_.find(fingerprint);
@@ -59,6 +71,7 @@ Measurement BenchmarkRunner::measure(const Configuration& config,
     if (budget != nullptr) {
       budget->charge(SimTime::seconds(kCacheHitOverheadSeconds));
     }
+    trace_cache_hit(fingerprint, /*joined=*/true, budget);
     return flight->result;
   }
 

@@ -14,6 +14,7 @@
 #include "harness/fault.hpp"
 #include "harness/measurement.hpp"
 #include "jvmsim/engine.hpp"
+#include "support/trace.hpp"
 #include "workloads/workload.hpp"
 
 namespace jat {
@@ -66,6 +67,11 @@ class BenchmarkRunner : public Evaluator {
   std::int64_t runs_executed() const { return runs_executed_; }
   std::int64_t cache_hits() const { return cache_hits_; }
 
+  /// Attaches a trace sink (null to detach): cache hits and single-flight
+  /// joins are emitted as `cache_hit` events and counted in the sink's
+  /// metrics. The runner never emits when no sink is attached.
+  void set_trace_sink(TraceSink* trace) { trace_ = trace; }
+
   /// Rep-level failure counters: timeouts and crashes absorbed into
   /// measurements, and how many partially-failed measurements were
   /// salvaged into valid results.
@@ -83,10 +89,14 @@ class BenchmarkRunner : public Evaluator {
 
   Measurement measure_uncached(const Configuration& config, BudgetClock* budget);
 
+  void trace_cache_hit(std::uint64_t fingerprint, bool joined,
+                       BudgetClock* budget);
+
   const JvmSimulator* simulator_;
   WorkloadSpec workload_;
   RunnerOptions options_;
   SimTime time_limit_ = SimTime::infinite();
+  TraceSink* trace_ = nullptr;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Measurement> cache_;

@@ -1,0 +1,300 @@
+#include "harness/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace jat {
+
+double SessionTrace::best_at(SimTime budget_position) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [at, objective] : convergence) {
+    if (at <= budget_position) {
+      best = objective;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+PhaseBudget& phase_entry(SessionTrace& session, const std::string& phase) {
+  for (auto& entry : session.phase_budgets) {
+    if (entry.phase == phase) return entry;
+  }
+  session.phase_budgets.push_back(PhaseBudget{phase, SimTime::zero(), 0, 0});
+  return session.phase_budgets.back();
+}
+
+void reconstruct(SessionTrace& session) {
+  double best = std::numeric_limits<double>::infinity();
+  SimTime prev_eval_at = SimTime::zero();
+  for (const TraceEvent& e : session.events) {
+    if (e.type == "session_start") {
+      session.workload = e.get_string("workload");
+      session.tuner = e.get_string("tuner");
+      session.budget = SimTime::seconds(e.get_double("budget_s"));
+    } else if (e.type == "eval") {
+      ++session.evaluations;
+      const double objective = e.get_double("objective_ms");
+      if (objective < best) {
+        best = objective;
+        session.convergence.emplace_back(e.at, best);
+      }
+      PhaseBudget& entry = phase_entry(session, e.get_string("phase"));
+      ++entry.evaluations;
+      entry.spent += e.at - prev_eval_at;
+      prev_eval_at = e.at;
+      if (e.get_int("attempts") > 1 && std::isfinite(objective)) {
+        ++session.recovered;
+      }
+    } else if (e.type == "incumbent") {
+      ++session.incumbent_updates;
+      ++phase_entry(session, e.get_string("phase")).incumbent_updates;
+    } else if (e.type == "cache_hit") {
+      ++session.cache_hits;
+      if (e.get_bool("joined")) ++session.single_flight_joins;
+    } else if (e.type == "retry") {
+      ++session.retries;
+    } else if (e.type == "quarantine") {
+      ++session.quarantined;
+    } else if (e.type == "quarantine_hit") {
+      ++session.quarantine_hits;
+    } else if (e.type == "breaker") {
+      if (e.get_bool("open")) ++session.breaker_trips;
+    } else if (e.type == "baseline") {
+      session.baseline_ms = e.get_double("objective_ms");
+    } else if (e.type == "validation") {
+      session.default_ms = e.get_double("default_ms");
+      session.best_ms = e.get_double("best_ms");
+    } else if (e.type == "session_end") {
+      session.complete = true;
+      session.default_ms = e.get_double("default_ms", session.default_ms);
+      session.best_ms = e.get_double("best_ms", session.best_ms);
+      session.improvement = e.get_double("improvement");
+      session.runs = e.get_int("runs");
+      session.budget_spent = SimTime::seconds(e.get_double("budget_spent_s"));
+    }
+  }
+  if (!session.complete && session.default_ms > 0.0) {
+    session.improvement =
+        (session.default_ms - session.best_ms) / session.default_ms;
+  }
+}
+
+}  // namespace
+
+std::vector<SessionTrace> analyze_trace(const std::vector<TraceEvent>& events) {
+  std::vector<SessionTrace> sessions;
+  for (const TraceEvent& e : events) {
+    if (e.type == "session_start" || sessions.empty()) {
+      sessions.emplace_back();
+    }
+    sessions.back().events.push_back(e);
+  }
+  for (SessionTrace& session : sessions) reconstruct(session);
+  return sessions;
+}
+
+// ---- schema validation ------------------------------------------------------
+
+namespace {
+
+enum class FieldKind { kString, kInt, kNumber, kBool };
+
+struct FieldSpec {
+  const char* name;
+  FieldKind kind;
+};
+
+struct EventSpec {
+  const char* type;
+  std::vector<FieldSpec> required;
+};
+
+/// The documented schema (EXPERIMENTS.md, "Trace event schema"). Events may
+/// carry extra fields; the required ones must be present and typed.
+const std::vector<EventSpec>& schema() {
+  static const std::vector<EventSpec> specs = {
+      {"session_start",
+       {{"workload", FieldKind::kString},
+        {"tuner", FieldKind::kString},
+        {"budget_s", FieldKind::kNumber},
+        {"repetitions", FieldKind::kInt},
+        {"seed", FieldKind::kInt},
+        {"eval_threads", FieldKind::kInt},
+        {"resilient", FieldKind::kBool}}},
+      {"phase", {{"name", FieldKind::kString}}},
+      {"eval",
+       {{"fingerprint", FieldKind::kString},
+        {"objective_ms", FieldKind::kNumber},
+        {"phase", FieldKind::kString},
+        {"fault", FieldKind::kString},
+        {"attempts", FieldKind::kInt}}},
+      {"incumbent",
+       {{"fingerprint", FieldKind::kString},
+        {"objective_ms", FieldKind::kNumber},
+        {"phase", FieldKind::kString}}},
+      {"structural_choice",
+       {{"signature", FieldKind::kString},
+        {"fingerprint", FieldKind::kString},
+        {"objective_ms", FieldKind::kNumber}}},
+      {"line_search",
+       {{"flag", FieldKind::kString},
+        {"value", FieldKind::kInt},
+        {"objective_ms", FieldKind::kNumber},
+        {"accepted", FieldKind::kBool}}},
+      {"cache_hit",
+       {{"fingerprint", FieldKind::kString}, {"joined", FieldKind::kBool}}},
+      {"retry",
+       {{"fingerprint", FieldKind::kString},
+        {"attempt", FieldKind::kInt},
+        {"fault", FieldKind::kString}}},
+      {"quarantine",
+       {{"fingerprint", FieldKind::kString}, {"reason", FieldKind::kString}}},
+      {"quarantine_hit", {{"fingerprint", FieldKind::kString}}},
+      {"breaker", {{"open", FieldKind::kBool}}},
+      {"baseline", {{"objective_ms", FieldKind::kNumber}}},
+      {"validation",
+       {{"default_ms", FieldKind::kNumber},
+        {"best_ms", FieldKind::kNumber},
+        {"search_best_ms", FieldKind::kNumber},
+        {"accepted", FieldKind::kBool}}},
+      {"session_end",
+       {{"workload", FieldKind::kString},
+        {"tuner", FieldKind::kString},
+        {"default_ms", FieldKind::kNumber},
+        {"best_ms", FieldKind::kNumber},
+        {"improvement", FieldKind::kNumber},
+        {"evaluations", FieldKind::kInt},
+        {"runs", FieldKind::kInt},
+        {"cache_hits", FieldKind::kInt},
+        {"budget_spent_s", FieldKind::kNumber}}},
+      {"metrics", {}},  // free-form counter/gauge snapshot
+  };
+  return specs;
+}
+
+bool kind_matches(const TraceValue& value, FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kString:
+      return std::holds_alternative<std::string>(value);
+    case FieldKind::kInt:
+      return std::holds_alternative<std::int64_t>(value);
+    case FieldKind::kBool:
+      return std::holds_alternative<bool>(value);
+    case FieldKind::kNumber:
+      if (std::holds_alternative<std::int64_t>(value) ||
+          std::holds_alternative<double>(value)) {
+        return true;
+      }
+      // Non-finite doubles round-trip through JSONL as these strings.
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        return *s == "inf" || *s == "-inf" || *s == "nan";
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string validate_trace_event(const TraceEvent& event) {
+  for (const EventSpec& spec : schema()) {
+    if (event.type != spec.type) continue;
+    for (const FieldSpec& field : spec.required) {
+      const TraceValue* value = event.find(field.name);
+      if (value == nullptr) {
+        return "event '" + event.type + "': missing field '" + field.name + "'";
+      }
+      if (!kind_matches(*value, field.kind)) {
+        return "event '" + event.type + "': field '" + field.name +
+               "' has the wrong type";
+      }
+    }
+    return "";
+  }
+  return "unknown event type '" + event.type + "'";
+}
+
+// ---- report rendering -------------------------------------------------------
+
+std::string render_trace_report(const std::vector<SessionTrace>& sessions,
+                                int checkpoints) {
+  std::ostringstream out;
+  checkpoints = std::max(1, checkpoints);
+  for (const SessionTrace& session : sessions) {
+    out << "== session: " << session.workload << " / " << session.tuner
+        << " ==\n";
+    out << "  budget " << session.budget.to_string() << ", spent "
+        << session.budget_spent.to_string() << "; " << session.evaluations
+        << " evaluations (" << session.cache_hits << " cache hits, "
+        << session.single_flight_joins << " single-flight joins), "
+        << session.runs << " runs\n";
+    out << "  validated: default " << fmt(session.default_ms, 0)
+        << " ms -> best " << fmt(session.best_ms, 0) << " ms ("
+        << format_percent(session.improvement) << " improvement)\n";
+    if (session.retries + session.quarantined + session.quarantine_hits +
+            session.breaker_trips >
+        0) {
+      out << "  resilience: " << session.retries << " retries, "
+          << session.recovered << " recovered, " << session.quarantined
+          << " quarantined (" << session.quarantine_hits << " hits), "
+          << session.breaker_trips << " breaker trips\n";
+    }
+    if (!session.complete) {
+      out << "  (incomplete trace: no session_end event)\n";
+    }
+
+    const SimTime horizon =
+        session.budget_spent.is_zero() && !session.convergence.empty()
+            ? session.convergence.back().first
+            : session.budget_spent;
+    if (!session.convergence.empty() && !horizon.is_zero()) {
+      out << "\n  convergence (incumbent vs budget):\n";
+      TextTable curve({"budget", "incumbent_ms", "improvement"});
+      const double reference =
+          session.baseline_ms > 0.0 ? session.baseline_ms : session.default_ms;
+      for (int i = 1; i <= checkpoints; ++i) {
+        const SimTime at =
+            horizon * (static_cast<double>(i) / static_cast<double>(checkpoints));
+        const double incumbent = session.best_at(at);
+        const double improvement =
+            reference > 0.0 && std::isfinite(incumbent)
+                ? (reference - incumbent) / reference
+                : 0.0;
+        curve.add_row({at.to_string(),
+                       std::isfinite(incumbent) ? fmt(incumbent, 0) : "inf",
+                       format_percent(improvement)});
+      }
+      out << curve.render();
+    }
+
+    if (!session.phase_budgets.empty()) {
+      out << "\n  per-phase budget attribution:\n";
+      TextTable phases({"phase", "evals", "incumbents", "budget_s", "share"});
+      SimTime total = SimTime::zero();
+      for (const PhaseBudget& entry : session.phase_budgets) {
+        total += entry.spent;
+      }
+      for (const PhaseBudget& entry : session.phase_budgets) {
+        phases.add_row({entry.phase, std::to_string(entry.evaluations),
+                        std::to_string(entry.incumbent_updates),
+                        fmt(entry.spent.as_seconds(), 1),
+                        format_percent(total.is_zero() ? 0.0
+                                                       : entry.spent / total)});
+      }
+      out << phases.render();
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace jat

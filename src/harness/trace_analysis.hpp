@@ -1,0 +1,87 @@
+// Reconstruction of session-level results from a trace alone.
+//
+// Everything the bench binaries used to re-derive from ResultDb (F4
+// convergence staircases, per-phase budget attribution, recovery counters)
+// is reconstructible from the trace events a TuningSession emits. This
+// header is that reconstruction: split a trace into sessions, validate
+// events against the documented schema, and compute the derived tables.
+// tools/trace_report is a thin CLI over these functions; tests use them to
+// pin trace-vs-outcome equivalence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/sim_time.hpp"
+#include "support/trace.hpp"
+
+namespace jat {
+
+/// Budget and evaluation count attributed to one tuner phase. Attribution
+/// charges each evaluation's budget delta (its t_s minus the previous
+/// eval's) to the phase that proposed it; under parallel evaluation the
+/// split is approximate per phase but the total is exact.
+struct PhaseBudget {
+  std::string phase;
+  SimTime spent;
+  std::int64_t evaluations = 0;
+  std::int64_t incumbent_updates = 0;
+};
+
+/// One tuning session reconstructed from its trace slice
+/// (session_start .. session_end).
+struct SessionTrace {
+  std::string workload;
+  std::string tuner;
+  SimTime budget;
+  bool complete = false;  ///< a session_end event was seen
+
+  /// Best-so-far staircase over the *search* evaluations: (budget position,
+  /// incumbent objective) at every improvement — ResultDb::best_trajectory
+  /// reconstructed from eval events.
+  std::vector<std::pair<SimTime, double>> convergence;
+  /// Incumbent objective at a budget position (staircase lookup; +inf
+  /// before the first finite evaluation).
+  double best_at(SimTime budget_position) const;
+
+  /// Per-phase budget attribution, in first-seen phase order.
+  std::vector<PhaseBudget> phase_budgets;
+
+  // Search-side counters reconstructed from events.
+  std::int64_t evaluations = 0;      ///< eval events
+  std::int64_t incumbent_updates = 0;
+  std::int64_t cache_hits = 0;       ///< cache_hit events (incl. joins)
+  std::int64_t single_flight_joins = 0;
+  std::int64_t retries = 0;          ///< retry events
+  std::int64_t recovered = 0;        ///< evals that succeeded after retries
+  std::int64_t quarantined = 0;
+  std::int64_t quarantine_hits = 0;
+  std::int64_t breaker_trips = 0;
+
+  // Session summary as emitted in validation / session_end events.
+  double baseline_ms = 0.0;    ///< search-time default measurement
+  double default_ms = 0.0;     ///< validated default
+  double best_ms = 0.0;        ///< validated best
+  double improvement = 0.0;
+  std::int64_t runs = 0;
+  SimTime budget_spent;
+
+  std::vector<TraceEvent> events;  ///< the session's raw slice
+};
+
+/// Splits a trace into sessions on session_start boundaries (events before
+/// the first session_start form a headless session) and reconstructs each.
+std::vector<SessionTrace> analyze_trace(const std::vector<TraceEvent>& events);
+
+/// Validates one event against the documented schema (EXPERIMENTS.md,
+/// "Trace event schema"): known type, required fields present and of the
+/// required kind. Returns an empty string when valid, else a diagnostic.
+std::string validate_trace_event(const TraceEvent& event);
+
+/// Renders a human-readable report (summary, convergence checkpoints,
+/// per-phase budget table) for all sessions in a trace.
+std::string render_trace_report(const std::vector<SessionTrace>& sessions,
+                                int checkpoints = 8);
+
+}  // namespace jat

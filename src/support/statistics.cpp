@@ -111,22 +111,66 @@ double t_critical_95(double dof) {
 
 namespace {
 
-// Standard normal survival-function based two-sided p approximation.
-double two_sided_p_from_z(double z) {
-  const double az = std::abs(z);
-  // Abramowitz & Stegun 26.2.17-style approximation of Phi.
-  const double t = 1.0 / (1.0 + 0.2316419 * az);
-  const double poly =
-      t * (0.319381530 +
-           t * (-0.356563782 +
-                t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
-  const double pdf = std::exp(-0.5 * az * az) / std::sqrt(2.0 * M_PI);
-  const double upper_tail = pdf * poly;
-  double p = 2.0 * upper_tail;
-  return std::clamp(p, 0.0, 1.0);
+// Continued-fraction evaluation of the regularized incomplete beta function
+// I_x(a, b) (Lentz's method; cf. Numerical Recipes betacf). Valid for
+// x < (a + 1) / (a + b + 2), which the caller guarantees.
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 200;
+  constexpr double kEpsilon = 1e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+// Regularized incomplete beta I_x(a, b) for x in [0, 1].
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
 }
 
 }  // namespace
+
+double student_t_two_sided_p(double t, double dof) {
+  if (!(dof > 0.0) || !std::isfinite(t)) return std::isfinite(t) ? 1.0 : 0.0;
+  // P(|T| >= |t|) = I_x(dof/2, 1/2) with x = dof / (dof + t^2).
+  const double x = dof / (dof + t * t);
+  return std::clamp(regularized_incomplete_beta(dof / 2.0, 0.5, x), 0.0, 1.0);
+}
 
 WelchResult welch_t_test(const RunningStat& a, const RunningStat& b) {
   WelchResult r;
@@ -148,8 +192,11 @@ WelchResult welch_t_test(const RunningStat& a, const RunningStat& b) {
   const double num = (va + vb) * (va + vb);
   const double den = va * va / (na - 1.0) + vb * vb / (nb - 1.0);
   r.dof = den > 0.0 ? num / den : na + nb - 2.0;
-  r.p_value = two_sided_p_from_z(r.t);  // normal approximation
-  r.significant_at_05 = std::abs(r.t) > t_critical_95(r.dof);
+  // dof-aware p-value; deciding significance from it keeps the flag and the
+  // p-value consistent at small dof, where the normal approximation and the
+  // t critical value used to disagree (e.g. |t| = 3 at n = 3).
+  r.p_value = student_t_two_sided_p(r.t, r.dof);
+  r.significant_at_05 = r.p_value < 0.05;
   return r;
 }
 

@@ -59,9 +59,8 @@ double median_of(std::vector<double> sample);
 struct WelchResult {
   double t = 0.0;
   double dof = 0.0;
-  /// Approximate two-sided p-value (normal approximation is used for
-  /// dof > 30, Student-t lookup below; good to a few percent, which is all
-  /// the harness needs).
+  /// Two-sided p-value from Student's t distribution at `dof` (regularized
+  /// incomplete beta); consistent with significant_at_05 by construction.
   double p_value = 1.0;
   bool significant_at_05 = false;
 };
@@ -71,6 +70,13 @@ WelchResult welch_t_test(const RunningStat& a, const RunningStat& b);
 
 /// Two-sided critical t value at 95% for the given degrees of freedom.
 double t_critical_95(double dof);
+
+/// Two-sided p-value of Student's t statistic at `dof` degrees of freedom,
+/// P(|T| >= |t|), computed from the regularized incomplete beta function.
+/// Exact to double precision modulo the continued-fraction tolerance —
+/// unlike a normal approximation, it stays honest at the tiny sample sizes
+/// (n = 3..5 repetitions) the harness actually uses.
+double student_t_two_sided_p(double t, double dof);
 
 /// Geometric mean of strictly positive values (others skipped); 0 if none.
 double geometric_mean(const std::vector<double>& values);

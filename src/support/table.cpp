@@ -27,8 +27,10 @@ bool looks_numeric(const std::string& cell) {
   return digit_seen;
 }
 
-std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+}  // namespace
+
+std::string csv_quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
   std::string out = "\"";
   for (char c : cell) {
     if (c == '"') out += '"';
@@ -38,7 +40,69 @@ std::string csv_escape(const std::string& cell) {
   return out;
 }
 
-}  // namespace
+std::vector<std::vector<std::string>> parse_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string cell;
+  bool quoted = false;
+  bool cell_started = false;  // record has at least one cell (or separator)
+  char c;
+  while (in.get(c)) {
+    if (quoted) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          cell += '"';
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        quoted = true;
+        cell_started = true;
+        break;
+      case ',':
+        record.push_back(std::move(cell));
+        cell.clear();
+        cell_started = true;
+        break;
+      case '\r':
+        if (in.peek() == '\n') in.get(c);
+        [[fallthrough]];
+      case '\n':
+        if (cell_started || !cell.empty()) {
+          record.push_back(std::move(cell));
+          cell.clear();
+          records.push_back(std::move(record));
+          record.clear();
+          cell_started = false;
+        } else {
+          records.emplace_back();  // empty line = empty record
+        }
+        break;
+      default:
+        cell += c;
+        cell_started = true;
+    }
+  }
+  if (quoted) throw Error("parse_csv: unterminated quoted field");
+  if (cell_started || !cell.empty()) {
+    record.push_back(std::move(cell));
+  }
+  if (!record.empty()) records.push_back(std::move(record));
+  return records;
+}
+
+std::vector<std::vector<std::string>> parse_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("parse_csv_file: cannot open " + path);
+  return parse_csv(in);
+}
 
 TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
   if (header_.empty()) throw Error("TextTable: empty header");
@@ -89,7 +153,7 @@ void TextTable::write_csv(std::ostream& out) const {
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c > 0) out << ',';
-      out << csv_escape(row[c]);
+      out << csv_quote(row[c]);
     }
     out << '\n';
   };

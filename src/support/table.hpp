@@ -41,6 +41,18 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// RFC-4180 field quoting: returns the cell unchanged when it contains no
+/// comma, quote, or CR/LF; otherwise wraps it in quotes with embedded
+/// quotes doubled. Shared by every CSV writer in the repo.
+std::string csv_quote(const std::string& cell);
+
+/// RFC-4180 parser for the dialect csv_quote writes: quoted fields may
+/// contain commas, doubled quotes, and embedded newlines; records are
+/// separated by LF or CRLF. Returns one vector of cells per record.
+/// Throws Error on an unterminated quoted field.
+std::vector<std::vector<std::string>> parse_csv(std::istream& in);
+std::vector<std::vector<std::string>> parse_csv_file(const std::string& path);
+
 /// Formats a double with the given number of decimals.
 std::string fmt(double value, int decimals = 2);
 

@@ -4,6 +4,18 @@
 
 namespace jat {
 
+namespace {
+
+// Which pool (if any) the current thread is a worker of. parallel_for uses
+// this to detect re-entry from its own workers: blocking on futures there
+// can deadlock once every worker is parked inside an outer parallel_for,
+// with the inner iterations stuck behind them in the queue.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const { return current_pool == this; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -24,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -43,8 +56,10 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1) {
-    fn(0);
+  if (count == 1 || on_worker_thread()) {
+    // Nested call from one of our own workers: run inline. Submitting and
+    // waiting here would deadlock when all workers block on the futures.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
   std::vector<std::future<void>> pending;

@@ -32,6 +32,9 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when called from one of this pool's worker threads.
+  bool on_worker_thread() const;
+
   /// Enqueues a task; the future reports its result or exception.
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
@@ -49,6 +52,8 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, count) on the pool and blocks until all are
   /// done. Exceptions from tasks are rethrown (the first one encountered).
+  /// Safe to call from a pool worker: nested calls run inline on the
+  /// calling thread instead of deadlocking on a saturated queue.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:

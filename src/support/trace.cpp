@@ -1,0 +1,394 @@
+#include "support/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace jat {
+
+// ---- TraceEvent -------------------------------------------------------------
+
+const TraceValue* TraceEvent::find(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::int64_t TraceEvent::get_int(std::string_view key, std::int64_t fallback) const {
+  const TraceValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i;
+  if (const auto* d = std::get_if<double>(v)) return static_cast<std::int64_t>(*d);
+  if (const auto* b = std::get_if<bool>(v)) return *b ? 1 : 0;
+  return fallback;
+}
+
+double TraceEvent::get_double(std::string_view key, double fallback) const {
+  const TraceValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return static_cast<double>(*i);
+  if (const auto* s = std::get_if<std::string>(v)) {
+    if (*s == "inf") return std::numeric_limits<double>::infinity();
+    if (*s == "-inf") return -std::numeric_limits<double>::infinity();
+    if (*s == "nan") return std::numeric_limits<double>::quiet_NaN();
+  }
+  return fallback;
+}
+
+std::string TraceEvent::get_string(std::string_view key, std::string fallback) const {
+  const TraceValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  return fallback;
+}
+
+bool TraceEvent::get_bool(std::string_view key, bool fallback) const {
+  const TraceValue* v = find(key);
+  if (v == nullptr) return fallback;
+  if (const auto* b = std::get_if<bool>(v)) return *b;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i != 0;
+  return fallback;
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+void MetricsRegistry::add(std::string_view name, std::int64_t delta) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::counters() const {
+  std::lock_guard lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (value == 0) continue;
+    if (!first) out << ' ';
+    out << name << '=' << value;
+    first = false;
+  }
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out << ' ';
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%g", value);
+    out << name << '=' << buf;
+    first = false;
+  }
+  return out.str();
+}
+
+// ---- JSON rendering ---------------------------------------------------------
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_value(std::string& out, const TraceValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    out += std::to_string(*i);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    if (std::isnan(*d)) {
+      out += "\"nan\"";
+    } else if (std::isinf(*d)) {
+      out += *d > 0 ? "\"inf\"" : "\"-inf\"";
+    } else {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.17g", *d);
+      out += buf;
+    }
+  } else if (const auto* s = std::get_if<std::string>(&value)) {
+    append_json_string(out, *s);
+  } else {
+    out += std::get<bool>(value) ? "true" : "false";
+  }
+}
+
+}  // namespace
+
+std::string to_json(const TraceEvent& event) {
+  std::string out = "{\"type\":";
+  append_json_string(out, event.type);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", event.at.as_seconds());
+  out += ",\"t_s\":";
+  out += buf;
+  for (const auto& [key, value] : event.fields) {
+    out += ',';
+    append_json_string(out, key);
+    out += ':';
+    append_json_value(out, value);
+  }
+  out += '}';
+  return out;
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+// ---- TraceSink --------------------------------------------------------------
+
+void TraceSink::emit(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::vector<TraceEvent> TraceSink::events_of(std::string_view type) const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceSink::write_jsonl(std::ostream& out) const {
+  for (const auto& e : events()) out << to_json(e) << '\n';
+}
+
+bool TraceSink::save_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+// ---- JSONL parsing ----------------------------------------------------------
+
+namespace {
+
+/// Minimal parser for the flat JSON objects write_jsonl emits. `pos` tracks
+/// the cursor; errors carry the line for context.
+class LineParser {
+ public:
+  LineParser(const std::string& line, std::size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  TraceEvent parse() {
+    TraceEvent event;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return event;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      TraceValue value = parse_value();
+      if (key == "type") {
+        event.type = std::get<std::string>(value);
+      } else if (key == "t_s") {
+        double seconds = 0.0;
+        if (const auto* d = std::get_if<double>(&value)) {
+          seconds = *d;
+        } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+          seconds = static_cast<double>(*i);
+        }
+        event.at = SimTime::seconds(seconds);
+      } else {
+        event.fields.emplace_back(std::move(key), std::move(value));
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return event;
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error("trace JSONL line " + std::to_string(line_no_) + ": " + what);
+  }
+
+  char peek() const { return pos_ < line_.size() ? line_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      char c = line_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= line_.size()) fail("truncated escape");
+        const char e = line_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > line_.size()) fail("truncated \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(line_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            // The writer only emits \u for control characters (< 0x20).
+            out += static_cast<char>(code & 0x7f);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  TraceValue parse_value() {
+    const char c = peek();
+    if (c == '"') return parse_string();
+    if (line_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (line_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    // Number: integer unless it carries a fraction or exponent.
+    const std::size_t start = pos_;
+    bool floating = false;
+    while (pos_ < line_.size()) {
+      const char d = line_[pos_];
+      if ((d >= '0' && d <= '9') || d == '-' || d == '+') {
+        ++pos_;
+      } else if (d == '.' || d == 'e' || d == 'E') {
+        floating = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = line_.substr(start, pos_ - start);
+    if (floating) return std::strtod(token.c_str(), nullptr);
+    return static_cast<std::int64_t>(std::strtoll(token.c_str(), nullptr, 10));
+  }
+
+  const std::string& line_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<TraceEvent> TraceSink::load_jsonl(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    events.push_back(LineParser(line, line_no).parse());
+  }
+  return events;
+}
+
+std::vector<TraceEvent> TraceSink::load_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open trace file: " + path);
+  return load_jsonl(in);
+}
+
+}  // namespace jat

@@ -85,6 +85,13 @@ void HierarchicalTuner::tune(TuningContext& ctx) {
 
     auto try_candidate = [&](Configuration candidate) {
       const double objective = ctx.evaluate(candidate);
+      if (ctx.tracing()) {
+        ctx.trace_event(
+            TraceEvent("structural_choice", ctx.budget().spent())
+                .with("signature", structure_signature(hierarchy, candidate))
+                .with("fingerprint", fingerprint_hex(candidate.fingerprint()))
+                .with("objective_ms", objective));
+      }
       structural_results.emplace_back(objective, std::move(candidate));
     };
 
@@ -227,7 +234,15 @@ void HierarchicalTuner::tune(TuningContext& ctx) {
         Configuration candidate = current;
         candidate.set(id, FlagValue(next));
         const double objective = ctx.evaluate(candidate);
-        if (objective >= current_objective) break;
+        const bool accepted = objective < current_objective;
+        if (ctx.tracing()) {
+          ctx.trace_event(TraceEvent("line_search", ctx.budget().spent())
+                              .with("flag", spec.name)
+                              .with("value", next)
+                              .with("objective_ms", objective)
+                              .with("accepted", accepted));
+        }
+        if (!accepted) break;
         current = std::move(candidate);
         current_objective = objective;
       }

@@ -44,14 +44,36 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
     pool = std::make_unique<ThreadPool>(options_.eval_threads);
   }
 
+  // Tracing: one sink pointer threaded through every layer; all emit sites
+  // are null-guarded, so a disabled trace costs one branch per site.
+  TraceSink* trace = options_.trace;
+  runner.set_trace_sink(trace);
+  if (resilient) resilient->set_trace_sink(trace);
+  if (trace != nullptr) {
+    trace->emit(TraceEvent("session_start")
+                    .with("workload", workload_.name)
+                    .with("tuner", tuner.name())
+                    .with("budget_s", options_.budget.as_seconds())
+                    .with("repetitions",
+                          static_cast<std::int64_t>(options_.repetitions))
+                    .with("seed", static_cast<std::int64_t>(options_.seed))
+                    .with("eval_threads",
+                          static_cast<std::int64_t>(options_.eval_threads))
+                    .with("resilient", options_.resilient));
+  }
+
   Rng rng(mix64(options_.seed, fnv1a64(tuner.name())));
-  TuningContext ctx(*evaluator, budget, *db, space, rng, pool.get());
+  TuningContext ctx(*evaluator, budget, *db, space, rng, pool.get(), trace);
 
   // Baseline: the default configuration, charged to the same budget —
   // the paper's harness measures it as its first candidate too.
   ctx.set_phase("default");
   const Configuration defaults(space.registry());
   const double default_ms = ctx.evaluate(defaults);
+  if (trace != nullptr) {
+    trace->emit(TraceEvent("baseline", budget.spent())
+                    .with("objective_ms", default_ms));
+  }
   if (std::isfinite(default_ms)) {
     // Abandon candidates 5x slower than the baseline rather than paying
     // their full run time out of the tuning budget.
@@ -75,13 +97,22 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
   validation_options.racing_factor = 0.0;  // full repetitions when it counts
   BenchmarkRunner validator(*simulator_, workload_, validation_options);
   Configuration best_config = ctx.best_config();
+  const double search_best_ms = ctx.best_objective();
   const double validated_default = validator.measure(defaults).objective();
   double validated_best = validator.measure(best_config).objective();
-  if (!(validated_best < validated_default)) {
+  bool winner_validated = validated_best < validated_default;
+  if (!winner_validated) {
     // The apparent winner does not validate: the honest outcome is that
     // tuning found nothing better than the defaults.
     best_config = defaults;
     validated_best = validated_default;
+  }
+  if (trace != nullptr) {
+    trace->emit(TraceEvent("validation", budget.spent())
+                    .with("default_ms", validated_default)
+                    .with("best_ms", validated_best)
+                    .with("search_best_ms", search_best_ms)
+                    .with("accepted", winner_validated));
   }
 
   FaultStats fault_stats = runner.stats();
@@ -99,6 +130,32 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
                         .budget_spent = budget.spent(),
                         .fault_stats = fault_stats,
                         .db = db};
+
+  if (trace != nullptr) {
+    trace->metrics().set_gauge("session.default_ms", outcome.default_ms);
+    trace->metrics().set_gauge("session.best_ms", outcome.best_ms);
+    trace->metrics().set_gauge("session.improvement",
+                               outcome.improvement_frac());
+    trace->emit(TraceEvent("session_end", budget.spent())
+                    .with("workload", workload_.name)
+                    .with("tuner", tuner.name())
+                    .with("default_ms", outcome.default_ms)
+                    .with("best_ms", outcome.best_ms)
+                    .with("improvement", outcome.improvement_frac())
+                    .with("evaluations", outcome.evaluations)
+                    .with("runs", outcome.runs)
+                    .with("cache_hits", outcome.cache_hits)
+                    .with("budget_spent_s", outcome.budget_spent.as_seconds()));
+    TraceEvent metrics("metrics", budget.spent());
+    for (const auto& [name, value] : trace->metrics().counters()) {
+      metrics.fields.emplace_back("c." + name, value);
+    }
+    for (const auto& [name, value] : trace->metrics().gauges()) {
+      metrics.fields.emplace_back("g." + name, value);
+    }
+    trace->emit(std::move(metrics));
+    runner.set_trace_sink(nullptr);
+  }
 
   log_info() << "  best " << fmt(outcome.best_ms, 0) << " ms ("
              << format_percent(outcome.improvement_frac()) << " improvement, "

@@ -14,6 +14,7 @@
 
 #include "harness/fault.hpp"
 #include "harness/resilient.hpp"
+#include "support/trace.hpp"
 #include "jvmsim/engine.hpp"
 #include "tuner/algorithms.hpp"
 #include "tuner/tuner.hpp"
@@ -44,6 +45,11 @@ struct SessionOptions {
   /// evaluator (see harness/resilient.hpp).
   bool resilient = false;
   ResilienceOptions resilience;
+  /// Structured tracing: when set, the session and every evaluation layer
+  /// emit typed events (schema in EXPERIMENTS.md) into this sink, from
+  /// which tools/trace_report reconstructs convergence curves and
+  /// per-phase budget attribution. Null disables tracing at zero cost.
+  TraceSink* trace = nullptr;
 };
 
 struct TuningOutcome {

@@ -8,16 +8,22 @@ namespace jat {
 
 TuningContext::TuningContext(Evaluator& evaluator, BudgetClock& budget,
                              ResultDb& db, const SearchSpace& space, Rng rng,
-                             ThreadPool* pool)
+                             ThreadPool* pool, TraceSink* trace)
     : evaluator_(&evaluator),
       budget_(&budget),
       db_(&db),
       space_(&space),
       rng_(rng),
       pool_(pool),
-      best_objective_(std::numeric_limits<double>::infinity()) {}
+      trace_(trace),
+      best_objective_(std::numeric_limits<double>::infinity()),
+      best_fingerprint_(std::numeric_limits<std::uint64_t>::max()) {}
 
 void TuningContext::set_phase(std::string phase) {
+  if (trace_ != nullptr) {
+    trace_->emit(
+        TraceEvent("phase", budget_->spent()).with("name", phase));
+  }
   std::lock_guard lock(mutex_);
   phase_ = std::move(phase);
 }
@@ -25,15 +31,25 @@ void TuningContext::set_phase(std::string phase) {
 double TuningContext::evaluate(const Configuration& config) {
   const Measurement m = evaluator_->measure(config, budget_);
   const double objective = m.objective();
+  const std::uint64_t fingerprint = config.fingerprint();
   std::string phase;
   {
     std::lock_guard lock(mutex_);
     phase = phase_;
   }
-  db_->record(config.fingerprint(), objective, budget_->spent(),
+  db_->record(fingerprint, objective, budget_->spent(),
               config.render_command_line(), phase, m.fault, m.crash_reason,
               m.attempts);
-  consider(config, objective);
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEvent("eval", budget_->spent())
+                     .with("fingerprint", fingerprint_hex(fingerprint))
+                     .with("objective_ms", objective)
+                     .with("phase", phase)
+                     .with("fault", std::string(to_string(m.fault)))
+                     .with("attempts", static_cast<std::int64_t>(m.attempts)));
+    trace_->metrics().add("tuner.evaluations");
+  }
+  consider(config, fingerprint, objective, phase);
   return objective;
 }
 
@@ -66,11 +82,32 @@ double TuningContext::best_objective() const {
   return best_objective_;
 }
 
-void TuningContext::consider(const Configuration& config, double objective) {
-  std::lock_guard lock(mutex_);
-  if (!best_config_.has_value() || objective < best_objective_) {
-    best_config_ = config;
-    best_objective_ = objective;
+void TuningContext::consider(const Configuration& config,
+                             std::uint64_t fingerprint, double objective,
+                             const std::string& phase) {
+  bool improved = false;
+  {
+    std::lock_guard lock(mutex_);
+    // Strict lexicographic (objective, fingerprint) order: among equal
+    // objectives the lowest fingerprint wins, so the incumbent after a
+    // parallel batch is independent of completion order (the reduction is a
+    // commutative min).
+    const bool better =
+        !best_config_.has_value() || objective < best_objective_ ||
+        (objective == best_objective_ && fingerprint < best_fingerprint_);
+    if (better) {
+      best_config_ = config;
+      best_objective_ = objective;
+      best_fingerprint_ = fingerprint;
+      improved = true;
+    }
+  }
+  if (improved && trace_ != nullptr) {
+    trace_->emit(TraceEvent("incumbent", budget_->spent())
+                     .with("fingerprint", fingerprint_hex(fingerprint))
+                     .with("objective_ms", objective)
+                     .with("phase", phase));
+    trace_->metrics().add("tuner.incumbent_updates");
   }
 }
 

@@ -14,6 +14,7 @@
 #include "harness/runner.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 #include "tuner/search_space.hpp"
 
 namespace jat {
@@ -23,7 +24,8 @@ namespace jat {
 class TuningContext {
  public:
   TuningContext(Evaluator& evaluator, BudgetClock& budget, ResultDb& db,
-                const SearchSpace& space, Rng rng, ThreadPool* pool = nullptr);
+                const SearchSpace& space, Rng rng, ThreadPool* pool = nullptr,
+                TraceSink* trace = nullptr);
 
   const SearchSpace& space() const { return *space_; }
   Rng& rng() { return rng_; }
@@ -33,8 +35,18 @@ class TuningContext {
 
   bool exhausted() const { return budget_->exhausted(); }
 
+  /// The session's trace sink, or nullptr when tracing is disabled. Tuners
+  /// use trace_event() instead and only pay when a sink is attached.
+  TraceSink* trace() { return trace_; }
+  bool tracing() const { return trace_ != nullptr; }
+  /// Emits an event when tracing is enabled; no-op (and the argument should
+  /// not be built) otherwise — guard call sites with tracing().
+  void trace_event(TraceEvent event) {
+    if (trace_ != nullptr) trace_->emit(std::move(event));
+  }
+
   /// Sets the label recorded with subsequent evaluations ("structural",
-  /// "subtree:gc", ...). Purely diagnostic.
+  /// "subtree:gc", ...) and emits a phase-transition trace event.
   void set_phase(std::string phase);
 
   /// Measures, logs, and tracks the incumbent. Returns the objective
@@ -52,7 +64,8 @@ class TuningContext {
   double best_objective() const;
 
  private:
-  void consider(const Configuration& config, double objective);
+  void consider(const Configuration& config, std::uint64_t fingerprint,
+                double objective, const std::string& phase);
 
   Evaluator* evaluator_;
   BudgetClock* budget_;
@@ -60,11 +73,16 @@ class TuningContext {
   const SearchSpace* space_;
   Rng rng_;
   ThreadPool* pool_;
+  TraceSink* trace_;
 
   mutable std::mutex mutex_;
   std::string phase_;
   std::optional<Configuration> best_config_;
   double best_objective_;
+  /// Incumbent tie-break key: among equal objectives the lowest fingerprint
+  /// wins, so parallel batch reduction is order-independent (the incumbent
+  /// after a batch does not depend on completion order).
+  std::uint64_t best_fingerprint_;
 };
 
 /// A search strategy. tune() runs until the budget is exhausted (checking

@@ -8,6 +8,7 @@
 #include "harness/budget.hpp"
 #include "harness/result_db.hpp"
 #include "harness/runner.hpp"
+#include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "workloads/suites.hpp"
 
@@ -129,6 +130,39 @@ TEST(ResultDb, CsvAndCountersCarryFaultTaxonomy) {
   EXPECT_NE(content.find(",fault,attempts,crash_reason,"), std::string::npos);
   EXPECT_NE(content.find("timeout"), std::string::npos);
   EXPECT_NE(content.find("harness timeout"), std::string::npos);
+}
+
+// Regression: save_csv used to wrap crash_reason/command_line in quotes
+// without escaping embedded quotes (and left phase bare), so a crash reason
+// like `assert "x" failed` or a phase with a comma produced a malformed
+// row. The writer now emits RFC-4180 and the cells round-trip exactly.
+TEST(ResultDb, SaveCsvRoundTripsHostileStrings) {
+  ResultDb db;
+  const std::string reason = "assert \"heap->is_full()\" failed,\ncore dumped";
+  const std::string flags = "-XX:OnError=\"gdb, %p\" -XX:+UseG1GC";
+  const std::string phase = "refine,\"inner\"";
+  db.record(42, 123.5, SimTime::seconds(7), flags, phase,
+            FaultClass::kDeterministic, reason, 2);
+  db.record(43, 99.0, SimTime::seconds(8), "", "default");
+
+  const std::string path = ::testing::TempDir() + "/resultdb_hostile.csv";
+  ASSERT_TRUE(db.save_csv(path));
+  const auto rows = parse_csv_file(path);
+  ASSERT_EQ(rows.size(), 3u);  // header + 2 records
+  const std::vector<std::string> header = {
+      "index",       "fingerprint", "objective_ms",
+      "budget_spent_s", "phase",    "fault",
+      "attempts",    "crash_reason", "command_line"};
+  EXPECT_EQ(rows[0], header);
+  ASSERT_EQ(rows[1].size(), header.size());
+  EXPECT_EQ(rows[1][0], "0");
+  EXPECT_EQ(rows[1][1], "42");
+  EXPECT_EQ(rows[1][4], phase);
+  EXPECT_EQ(rows[1][7], reason);
+  EXPECT_EQ(rows[1][8], flags);
+  ASSERT_EQ(rows[2].size(), header.size());
+  EXPECT_EQ(rows[2][7], "");
+  EXPECT_EQ(rows[2][8], "");
 }
 
 // ---- BenchmarkRunner ---------------------------------------------------------

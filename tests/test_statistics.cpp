@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace jat {
@@ -169,6 +170,67 @@ TEST(WelchTTest, ZeroVarianceDifferentMeans) {
   const WelchResult r = welch_t_test(a, b);
   EXPECT_TRUE(r.significant_at_05);
   EXPECT_EQ(r.p_value, 0.0);
+}
+
+TEST(StudentTTwoSidedP, TableAnchors) {
+  // p at the two-sided 95% critical value is 0.05 by definition.
+  EXPECT_NEAR(student_t_two_sided_p(12.706, 1), 0.05, 5e-4);
+  EXPECT_NEAR(student_t_two_sided_p(4.303, 2), 0.05, 5e-4);
+  EXPECT_NEAR(student_t_two_sided_p(2.776, 4), 0.05, 5e-4);
+  EXPECT_NEAR(student_t_two_sided_p(1.96, 1e6), 0.05, 1e-3);
+  // Textbook value: P(|T_2| >= 3) = 0.0955.
+  EXPECT_NEAR(student_t_two_sided_p(3.0, 2), 0.0955, 5e-4);
+}
+
+TEST(StudentTTwoSidedP, EdgeCases) {
+  EXPECT_EQ(student_t_two_sided_p(0.0, 5), 1.0);
+  EXPECT_EQ(student_t_two_sided_p(std::numeric_limits<double>::infinity(), 5),
+            0.0);
+  EXPECT_EQ(student_t_two_sided_p(1.0, 0.0), 1.0);  // degenerate dof
+  // Sign-symmetric and monotone decreasing in |t|.
+  EXPECT_EQ(student_t_two_sided_p(-2.5, 7), student_t_two_sided_p(2.5, 7));
+  EXPECT_GT(student_t_two_sided_p(1.0, 7), student_t_two_sided_p(2.0, 7));
+}
+
+TEST(StudentTTwoSidedP, HeavierTailsThanNormalAtSmallDof) {
+  // The t distribution's heavy tails matter exactly at the sample sizes the
+  // harness uses; a normal approximation understates p there.
+  EXPECT_GT(student_t_two_sided_p(2.0, 2), student_t_two_sided_p(2.0, 1e8));
+  EXPECT_NEAR(student_t_two_sided_p(2.0, 1e8), 0.0455, 1e-3);
+}
+
+// Regression: p_value and significant_at_05 used to come from different
+// approximations (normal vs t table) and disagreed at small dof. With
+// n = 3 per side and |t| ~ 2.3 (dof = 4), the normal approximation says
+// p = 0.021 while the t distribution says p = 0.083 — the old code
+// reported the first alongside significant_at_05 == false.
+TEST(WelchTTest, PValueConsistentWithSignificanceAtSmallN) {
+  RunningStat a;
+  RunningStat b;
+  for (double x : {10.0, 11.0, 12.0}) a.add(x);
+  for (double x : {11.878, 12.878, 13.878}) b.add(x);
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_NEAR(r.t, -2.3, 0.01);
+  EXPECT_NEAR(r.dof, 4.0, 1e-9);
+  EXPECT_GT(r.p_value, 0.05);
+  EXPECT_FALSE(r.significant_at_05);
+  EXPECT_EQ(r.p_value < 0.05, r.significant_at_05);
+}
+
+// Property: the consistency invariant holds across a sweep of separations
+// at n = 3, including ones straddling the significance boundary.
+TEST(WelchTTest, PValueAndFlagAgreeAcrossSeparations) {
+  for (int step = 0; step <= 40; ++step) {
+    const double delta = 0.1 * step;
+    RunningStat a;
+    RunningStat b;
+    for (double x : {10.0, 11.0, 12.0}) a.add(x);
+    for (double x : {10.0 + delta, 11.0 + delta, 12.0 + delta}) b.add(x);
+    const WelchResult r = welch_t_test(a, b);
+    EXPECT_EQ(r.p_value < 0.05, r.significant_at_05)
+        << "delta=" << delta << " t=" << r.t << " dof=" << r.dof
+        << " p=" << r.p_value;
+  }
 }
 
 TEST(GeometricMean, Basics) {

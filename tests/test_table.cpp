@@ -61,6 +61,70 @@ TEST(TextTable, AccessorsReturnStoredData) {
   EXPECT_EQ(t.row(0)[1], "y");
 }
 
+TEST(CsvQuote, PassesPlainCellsThrough) {
+  EXPECT_EQ(csv_quote("plain"), "plain");
+  EXPECT_EQ(csv_quote(""), "");
+  EXPECT_EQ(csv_quote("with space"), "with space");
+}
+
+TEST(CsvQuote, QuotesSpecialCharacters) {
+  EXPECT_EQ(csv_quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_quote("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_quote("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(ParseCsv, PlainRecords) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  const auto rows = parse_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ParseCsv, QuotedFieldsWithCommasQuotesAndNewlines) {
+  std::istringstream in("\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\nx,,z\n");
+  const auto rows = parse_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"a,b", "say \"hi\"", "two\nlines"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"x", "", "z"}));
+}
+
+TEST(ParseCsv, CrLfAndMissingTrailingNewline) {
+  std::istringstream in("a,b\r\nc,d");
+  const auto rows = parse_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, UnterminatedQuoteRejected) {
+  std::istringstream in("\"never closed\n");
+  EXPECT_THROW(parse_csv(in), Error);
+}
+
+// Round trip: hostile cells survive write_csv -> parse_csv byte-exact.
+TEST(ParseCsv, RoundTripsHostileCells) {
+  TextTable t({"name", "payload"});
+  const std::vector<std::vector<std::string>> hostile = {
+      {"commas", "a,b,,c"},
+      {"quotes", "\"\"nested \"quotes\"\"\""},
+      {"newline", "first\nsecond\nthird"},
+      {"mixed", "x,\"y\"\nz,"},
+      {"empty", ""},
+  };
+  for (const auto& row : hostile) t.add_row(row);
+  std::stringstream io;
+  t.write_csv(io);
+  const auto rows = parse_csv(io);
+  ASSERT_EQ(rows.size(), hostile.size() + 1);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "payload"}));
+  for (std::size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(rows[i + 1], hostile[i]) << "row " << i;
+  }
+}
+
 TEST(Fmt, Decimals) {
   EXPECT_EQ(fmt(3.14159, 2), "3.14");
   EXPECT_EQ(fmt(3.14159, 0), "3");

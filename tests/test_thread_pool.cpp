@@ -78,6 +78,43 @@ TEST(ThreadPool, ManyConcurrentSubmissions) {
   EXPECT_EQ(total, expected);
 }
 
+// Regression: parallel_for from inside a pool worker used to deadlock once
+// every worker was parked waiting on inner futures nobody could run. Nested
+// calls now execute inline on the calling worker.
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);  // fewer workers than outer tasks forces saturation
+  std::vector<std::atomic<int>> visits(16);
+  pool.parallel_for(4, [&](std::size_t outer) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(4, [&](std::size_t inner) {
+      ++visits[outer * 4 + inner];
+    });
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(4, [](std::size_t i) {
+                                     if (i == 2) throw std::runtime_error("x");
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, OnWorkerThreadFalseOutsidePool) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.on_worker_thread());
+  // A worker of one pool is not "on" another pool.
+  auto f = other.submit([&pool, &other] {
+    return !pool.on_worker_thread() && other.on_worker_thread();
+  });
+  EXPECT_TRUE(f.get());
+}
+
 TEST(ThreadPool, DestructorDrainsQueue) {
   std::atomic<int> done{0};
   {

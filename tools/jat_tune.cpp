@@ -41,6 +41,8 @@ void usage() {
       "  --reps N            timed repetitions per candidate (default 3)\n"
       "  --threads N         parallel candidate evaluation threads\n"
       "  --out FILE          write the tuned flags to FILE\n"
+      "  --trace FILE        write a structured JSONL event trace to FILE\n"
+      "                      (inspect with trace_report)\n"
       "  --replay FILE       re-measure a saved .flags file on --workload\n"
       "  --racing            abandon clearly-losing candidates after 1 rep\n"
       "  --explain           leave-one-out analysis of the winning flags\n"
@@ -167,7 +169,9 @@ int main(int argc, char** argv) {
   std::string tuner_name = "hierarchical";
   std::string out_path;
   std::string replay_path;
+  std::string trace_path;
   SessionOptions options;
+  TraceSink trace_sink;
   bool explain = false;
   set_log_level(LogLevel::kWarn);
 
@@ -196,6 +200,9 @@ int main(int argc, char** argv) {
       options.eval_threads = static_cast<std::size_t>(std::atoi(next()));
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+      options.trace = &trace_sink;
     } else if (arg == "--racing") {
       options.racing_factor = 1.3;
     } else if (arg == "--replay") {
@@ -253,8 +260,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   try {
-    if (!suite.empty()) return tune_suite(suite, options, *tuner, out_path);
-    return tune_one(workload, options, *tuner, out_path, explain);
+    const int rc = !suite.empty()
+                       ? tune_suite(suite, options, *tuner, out_path)
+                       : tune_one(workload, options, *tuner, out_path, explain);
+    if (!trace_path.empty()) {
+      if (trace_sink.save_jsonl(trace_path)) {
+        std::printf("trace (%zu events) written to %s\n", trace_sink.size(),
+                    trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+    }
+    return rc;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -1,0 +1,92 @@
+// trace_report — reconstructs session results from a JSONL trace alone.
+//
+// Reads a trace written by jat_tune --trace (or any TraceSink::save_jsonl)
+// and prints, per session: the summary line, an F4-style convergence
+// staircase sampled at budget checkpoints, per-phase budget attribution,
+// and the harness/resilience counters. No ResultDb needed — everything is
+// derived from the events, which is the point: the trace is a complete
+// record of the session.
+//
+//   trace_report session.trace.jsonl
+//   trace_report --checkpoints 16 session.trace.jsonl
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "harness/trace_analysis.hpp"
+#include "support/trace.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "trace_report — session report from a JSONL trace\n\n"
+      "  trace_report [--checkpoints N] [--validate] TRACE.jsonl\n\n"
+      "  --checkpoints N   convergence staircase sample points (default 8)\n"
+      "  --validate        also check every event against the schema and\n"
+      "                    exit nonzero on the first violation\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int checkpoints = 8;
+  bool validate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--checkpoints") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --checkpoints needs a value\n");
+        return 1;
+      }
+      checkpoints = std::atoi(argv[++i]);
+      if (checkpoints < 1) {
+        std::fprintf(stderr, "error: --checkpoints must be >= 1\n");
+        return 1;
+      }
+    } else if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one trace file given\n");
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 1;
+  }
+
+  try {
+    const auto events = jat::TraceSink::load_jsonl_file(path);
+    if (validate) {
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        const std::string problem = jat::validate_trace_event(events[i]);
+        if (!problem.empty()) {
+          std::fprintf(stderr, "error: event %zu: %s\n", i, problem.c_str());
+          return 1;
+        }
+      }
+    }
+    const auto sessions = jat::analyze_trace(events);
+    if (sessions.empty()) {
+      std::fprintf(stderr, "error: %s holds no session events\n", path.c_str());
+      return 1;
+    }
+    std::printf("%s", jat::render_trace_report(sessions, checkpoints).c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
