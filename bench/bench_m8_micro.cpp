@@ -5,8 +5,12 @@
 // 200-minute tuning session replays in well under a second.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_common.hpp"
 #include "flags/validate.hpp"
 #include "jvmsim/engine.hpp"
+#include "tuner/algorithms.hpp"
 #include "tuner/search_space.hpp"
 #include "workloads/suites.hpp"
 
@@ -111,6 +115,84 @@ void BM_ActiveFlags(benchmark::State& state) {
 }
 BENCHMARK(BM_ActiveFlags);
 
+SessionOptions throughput_options(std::size_t eval_threads,
+                                  std::size_t inflight) {
+  SessionOptions options;
+  options.budget = SimTime::minutes(20);
+  options.repetitions = 1;
+  options.seed = 2015;
+  options.eval_threads = eval_threads;
+  options.inflight = inflight;
+  return options;
+}
+
+/// One whole session through the EvalScheduler; items/s == evaluations/s.
+void BM_SchedulerThroughput(benchmark::State& state) {
+  JvmSimulator sim;
+  const WorkloadSpec& w = find_workload("startup.compress");
+  const SessionOptions options =
+      throughput_options(static_cast<std::size_t>(state.range(0)),
+                         static_cast<std::size_t>(state.range(1)));
+  std::int64_t evaluations = 0;
+  for (auto _ : state) {
+    TuningSession session(sim, w, options);
+    RandomSearch strategy(0.15);
+    evaluations += session.run(strategy).evaluations;
+  }
+  state.SetItemsProcessed(evaluations);
+}
+BENCHMARK(BM_SchedulerThroughput)
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4, 8}})
+    ->ArgNames({"eval_threads", "inflight"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Scheduler throughput sweep, saved as CSV like the experiment binaries:
+/// evaluations per wall-clock second against the in-flight window size, one
+/// column per worker-thread count.
+void emit_scheduler_throughput_csv() {
+  JvmSimulator sim;
+  const WorkloadSpec& w = find_workload("startup.compress");
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<std::size_t> windows = {1, 2, 4, 8};
+
+  std::vector<std::string> header = {"inflight"};
+  for (std::size_t threads : thread_counts) {
+    header.push_back("threads=" + std::to_string(threads));
+  }
+  TextTable table(header);
+
+  for (std::size_t window : windows) {
+    std::vector<std::string> row = {std::to_string(window)};
+    for (std::size_t threads : thread_counts) {
+      TuningSession session(sim, w, throughput_options(threads, window));
+      RandomSearch strategy(0.15);
+      const auto start = std::chrono::steady_clock::now();
+      const TuningOutcome outcome = session.run(strategy);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double rate =
+          seconds > 0 ? static_cast<double>(outcome.evaluations) / seconds : 0;
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%.0f", rate);
+      row.push_back(cell);
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit("M8: scheduler throughput, evals/sec by in-flight window",
+              table, "bench_m8_scheduler.csv");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  jat::set_log_level(jat::LogLevel::kWarn);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_scheduler_throughput_csv();
+  return 0;
+}

@@ -24,7 +24,7 @@ int main() {
 
   struct Strategy {
     const char* label;
-    std::function<std::unique_ptr<Tuner>()> make;
+    std::function<std::unique_ptr<SearchStrategy>()> make;
   };
   const std::vector<Strategy> strategies = {
       {"hierarchical", [] { return std::make_unique<HierarchicalTuner>(); }},

@@ -52,7 +52,9 @@ int main(int argc, char** argv) {
     }
     jat::TuningSession session(simulator, workload, options);
 
-    // The GA benefits most from parallel batch evaluation.
+    // The GA streams whole generations through the scheduler's in-flight
+    // window, so it benefits most from the worker threads — and lands on
+    // the same winners the serial run would (see tuner/strategy.hpp).
     jat::GeneticTuner tuner;
     const jat::TuningOutcome outcome = session.run(tuner);
 

@@ -6,6 +6,17 @@
 // result collection), so "improvement vs tuning time" curves have the
 // paper's semantics without wall-clock hours. Thread-safe: parallel
 // evaluators charge concurrently.
+//
+// Two mechanisms bound concurrent overshoot:
+//  - try_reserve()/release(): admission control for parallel dispatch.
+//    Without it every in-flight worker passes exhausted() and charges
+//    afterwards, overshooting by up to one full run per worker; with it
+//    at most one admission can straddle the limit (the classic "last run
+//    in flight may overshoot" semantics, but never unbounded).
+//  - MeteredBudget: a pass-through decorator that tallies the charges of
+//    one measurement across every evaluator layer (runner, fault
+//    injector, resilience), so a scheduler can account per-evaluation
+//    cost without modifying any layer.
 #pragma once
 
 #include <atomic>
@@ -18,9 +29,13 @@ namespace jat {
 class BudgetClock {
  public:
   explicit BudgetClock(SimTime total) : total_(total) {}
+  virtual ~BudgetClock() = default;
+
+  BudgetClock(const BudgetClock&) = delete;
+  BudgetClock& operator=(const BudgetClock&) = delete;
 
   SimTime total() const { return total_; }
-  SimTime spent() const {
+  virtual SimTime spent() const {
     return SimTime::micros(spent_us_.load(std::memory_order_relaxed));
   }
   SimTime remaining() const {
@@ -31,13 +46,79 @@ class BudgetClock {
 
   /// Charges a cost; the clock may overshoot on the run in flight when it
   /// expires (like a real harness finishing its last measurement).
-  void charge(SimTime cost) {
+  virtual void charge(SimTime cost) {
     spent_us_.fetch_add(cost.as_micros(), std::memory_order_relaxed);
+  }
+
+  /// Outstanding reservations (estimated cost of admitted-but-uncharged
+  /// work).
+  SimTime reserved() const {
+    return SimTime::micros(reserved_us_.load(std::memory_order_relaxed));
+  }
+
+  /// Admission control for concurrent workers: succeeds while the charged
+  /// plus reserved time leaves any headroom, so the last admitted unit may
+  /// overshoot (like charge()), but total admissions can never run away by
+  /// more than one estimated cost per winner of the final race. Pair every
+  /// successful reservation with release() once the actual cost has been
+  /// charged.
+  bool try_reserve(SimTime estimated_cost) {
+    const std::int64_t cost = estimated_cost.as_micros();
+    std::int64_t reserved = reserved_us_.load(std::memory_order_relaxed);
+    while (true) {
+      const std::int64_t spent_now = spent().as_micros();
+      if (spent_now + reserved >= total_.as_micros()) return false;
+      if (reserved_us_.compare_exchange_weak(reserved, reserved + cost,
+                                             std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  void release(SimTime estimated_cost) {
+    reserved_us_.fetch_sub(estimated_cost.as_micros(),
+                           std::memory_order_relaxed);
   }
 
  private:
   SimTime total_;
   std::atomic<std::int64_t> spent_us_{0};
+  std::atomic<std::int64_t> reserved_us_{0};
+};
+
+/// Pass-through decorator that forwards to a parent clock (sharing its
+/// global spent/exhausted view, so layers like the runner's mid-measurement
+/// expiry checks behave identically) while tallying the charges made
+/// through *this* instance. One MeteredBudget per measurement gives the
+/// scheduler the exact budget cost of that evaluation, whatever evaluator
+/// layers charged it. With a null parent it degrades to a free-standing
+/// tally with an unlimited budget.
+///
+/// try_reserve()/release() are not forwarded: reservations belong to the
+/// root clock that admission control runs against.
+class MeteredBudget final : public BudgetClock {
+ public:
+  explicit MeteredBudget(BudgetClock* parent)
+      : BudgetClock(parent != nullptr ? parent->total() : SimTime::infinite()),
+        parent_(parent) {}
+
+  SimTime spent() const override {
+    return parent_ != nullptr ? parent_->spent() : metered();
+  }
+
+  void charge(SimTime cost) override {
+    metered_us_.fetch_add(cost.as_micros(), std::memory_order_relaxed);
+    if (parent_ != nullptr) parent_->charge(cost);
+  }
+
+  /// Total charged through this decorator (one measurement's cost).
+  SimTime metered() const {
+    return SimTime::micros(metered_us_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  BudgetClock* parent_;
+  std::atomic<std::int64_t> metered_us_{0};
 };
 
 }  // namespace jat

@@ -68,6 +68,14 @@ void reconstruct(SessionTrace& session) {
       ++session.quarantine_hits;
     } else if (e.type == "breaker") {
       if (e.get_bool("open")) ++session.breaker_trips;
+    } else if (e.type == "dispatch") {
+      ++session.dispatched;
+    } else if (e.type == "complete") {
+      ++session.completed;
+    } else if (e.type == "window") {
+      session.inflight_cap = e.get_int("inflight_cap");
+      session.max_inflight = e.get_int("max_inflight");
+      session.avg_inflight = e.get_double("avg_inflight");
     } else if (e.type == "baseline") {
       session.baseline_ms = e.get_double("objective_ms");
     } else if (e.type == "validation") {
@@ -150,6 +158,21 @@ const std::vector<EventSpec>& schema() {
         {"value", FieldKind::kInt},
         {"objective_ms", FieldKind::kNumber},
         {"accepted", FieldKind::kBool}}},
+      {"dispatch",
+       {{"id", FieldKind::kInt},
+        {"fingerprint", FieldKind::kString},
+        {"inflight", FieldKind::kInt}}},
+      {"complete",
+       {{"id", FieldKind::kInt},
+        {"fingerprint", FieldKind::kString},
+        {"objective_ms", FieldKind::kNumber},
+        {"cost_s", FieldKind::kNumber},
+        {"inflight", FieldKind::kInt}}},
+      {"window",
+       {{"inflight_cap", FieldKind::kInt},
+        {"dispatched", FieldKind::kInt},
+        {"max_inflight", FieldKind::kInt},
+        {"avg_inflight", FieldKind::kNumber}}},
       {"cache_hit",
        {{"fingerprint", FieldKind::kString}, {"joined", FieldKind::kBool}}},
       {"retry",
@@ -247,6 +270,11 @@ std::string render_trace_report(const std::vector<SessionTrace>& sessions,
           << session.recovered << " recovered, " << session.quarantined
           << " quarantined (" << session.quarantine_hits << " hits), "
           << session.breaker_trips << " breaker trips\n";
+    }
+    if (session.dispatched > 0) {
+      out << "  pipeline: " << session.dispatched << " dispatched, window cap "
+          << session.inflight_cap << ", peak " << session.max_inflight
+          << " in flight (avg " << fmt(session.avg_inflight, 2) << ")\n";
     }
     if (!session.complete) {
       out << "  (incomplete trace: no session_end event)\n";

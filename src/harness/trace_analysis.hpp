@@ -59,6 +59,14 @@ struct SessionTrace {
   std::int64_t quarantine_hits = 0;
   std::int64_t breaker_trips = 0;
 
+  // Scheduler pipeline counters (dispatch/complete/window events; zero for
+  // traces predating the EvalScheduler).
+  std::int64_t dispatched = 0;       ///< dispatch events
+  std::int64_t completed = 0;        ///< complete events
+  std::int64_t inflight_cap = 0;     ///< configured window size
+  std::int64_t max_inflight = 0;     ///< peak window occupancy observed
+  double avg_inflight = 0.0;         ///< mean occupancy at delivery
+
   // Session summary as emitted in validation / session_end events.
   double baseline_ms = 0.0;    ///< search-time default measurement
   double default_ms = 0.0;     ///< validated default

@@ -1,49 +1,69 @@
 #include "tuner/algorithms.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace jat {
+
+// Speculative annealing: ask() emits mutations of the current point,
+// tell() runs the Metropolis acceptance with the temperature taken from
+// *committed* budget consumption (deterministic across eval_threads).
+// Accepted moves re-seat the base point for subsequent proposals; the
+// handful still in flight were speculated from the previous point, which
+// is just the usual annealing walk with slightly stale parents.
+struct SimulatedAnnealing::Impl {
+  Configuration current;
+  double current_objective = 0.0;
+  double initial_temp = 1000.0;
+
+  explicit Impl(Configuration seed, double objective)
+      : current(std::move(seed)), current_objective(objective) {}
+};
+
+SimulatedAnnealing::SimulatedAnnealing() : SimulatedAnnealing(Options{}) {}
+SimulatedAnnealing::SimulatedAnnealing(Options options) : options_(options) {}
+SimulatedAnnealing::~SimulatedAnnealing() = default;
 
 std::string SimulatedAnnealing::name() const { return "annealing"; }
 
-void SimulatedAnnealing::tune(TuningContext& ctx) {
+void SimulatedAnnealing::begin(StrategyContext& ctx) {
+  SearchStrategy::begin(ctx);
   ctx.set_phase("annealing");
-  Configuration current = ctx.best_config();
-  double current_objective = ctx.best_objective();
-  const double initial_temp =
-      std::isfinite(current_objective)
-          ? current_objective * options_.initial_temp_frac
-          : 1000.0;
+  impl_ = std::make_unique<Impl>(ctx.best_config(), ctx.best_objective());
+  impl_->initial_temp = std::isfinite(impl_->current_objective)
+                            ? impl_->current_objective * options_.initial_temp_frac
+                            : 1000.0;
+}
 
-  while (!ctx.exhausted()) {
-    Configuration candidate = current;
-    if (ctx.rng().chance(options_.structure_probability)) {
-      ctx.space().mutate_structure(candidate, ctx.rng());
+void SimulatedAnnealing::ask(std::vector<Proposal>& out, std::size_t max) {
+  Impl& s = *impl_;
+  while (out.size() < max) {
+    Configuration candidate = s.current;
+    if (ctx().rng().chance(options_.structure_probability)) {
+      ctx().space().mutate_structure(candidate, ctx().rng());
     } else {
-      const int flags = 1 + static_cast<int>(ctx.rng().next_below(3));
-      ctx.space().mutate(candidate, ctx.rng(), flags);
+      const int flags = 1 + static_cast<int>(ctx().rng().next_below(3));
+      ctx().space().mutate(candidate, ctx().rng(), flags);
     }
-
-    const double objective = ctx.evaluate(candidate);
-    // Geometric cooling driven by budget consumption.
-    const double progress = ctx.budget().spent() / ctx.budget().total();
-    const double temp = initial_temp * std::pow(0.01, std::min(1.0, progress));
-
-    bool accept = objective < current_objective;
-    if (!accept && std::isfinite(objective) && temp > 0.0) {
-      accept = ctx.rng().chance(
-          std::exp(-(objective - current_objective) / temp));
-    }
-    if (accept) {
-      current = std::move(candidate);
-      current_objective = objective;
-    }
+    out.emplace_back(std::move(candidate));
   }
 }
 
-}  // namespace jat
+void SimulatedAnnealing::tell(const Observation& observation) {
+  Impl& s = *impl_;
+  // Geometric cooling driven by committed budget consumption.
+  const double temp = s.initial_temp * std::pow(0.01, ctx().progress());
 
-namespace jat {
-SimulatedAnnealing::SimulatedAnnealing() : SimulatedAnnealing(Options{}) {}
-SimulatedAnnealing::SimulatedAnnealing(Options options) : options_(options) {}
+  bool accept = observation.objective < s.current_objective;
+  if (!accept && std::isfinite(observation.objective) && temp > 0.0) {
+    accept = ctx().rng().chance(
+        std::exp(-(observation.objective - s.current_objective) / temp));
+  }
+  if (accept) {
+    s.current = *observation.config;
+    s.current_objective = observation.objective;
+  }
+}
+
 }  // namespace jat

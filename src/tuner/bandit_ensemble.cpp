@@ -2,11 +2,19 @@
 // bandit: each operator earns credit when the candidate it produced
 // improves on its parent, weighted toward recent outcomes; operator choice
 // maximises credit plus an exploration bonus.
+//
+// Ask/tell split: ask() picks the operator from the current credit state
+// and generates the candidate (tagging the proposal with the operator id);
+// tell() pays the credit and advances the current point. Proposals in
+// flight together read the same credit snapshot — the bandit learns at
+// window granularity, which is the standard batched-bandit compromise.
 #include "tuner/algorithms.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <utility>
+#include <vector>
 
 namespace jat {
 
@@ -36,83 +44,103 @@ struct OperatorStats {
   }
 };
 
+enum Op : std::size_t {
+  kMutateSmall = 0,
+  kMutateLarge,
+  kMutateWide,
+  kStructure,
+  kCrossRandom,
+  kRandom,
+  kOpCount,
+};
+
 }  // namespace
+
+struct BanditEnsemble::Impl {
+  std::vector<OperatorStats> stats{kOpCount};
+  std::size_t total_uses = 0;
+  Configuration current;
+  double current_objective = 0.0;
+
+  explicit Impl(Configuration seed, double objective)
+      : current(std::move(seed)), current_objective(objective) {}
+};
+
+BanditEnsemble::BanditEnsemble() : BanditEnsemble(Options{}) {}
+BanditEnsemble::BanditEnsemble(Options options) : options_(options) {}
+BanditEnsemble::~BanditEnsemble() = default;
 
 std::string BanditEnsemble::name() const { return "bandit"; }
 
-void BanditEnsemble::tune(TuningContext& ctx) {
+void BanditEnsemble::begin(StrategyContext& ctx) {
+  SearchStrategy::begin(ctx);
   ctx.set_phase("bandit");
-  enum Op : std::size_t {
-    kMutateSmall = 0,
-    kMutateLarge,
-    kMutateWide,
-    kStructure,
-    kCrossRandom,
-    kRandom,
-    kOpCount,
-  };
-  std::vector<OperatorStats> stats(kOpCount);
-  std::size_t total_uses = 0;
+  impl_ = std::make_unique<Impl>(ctx.best_config(), ctx.best_objective());
+}
 
-  Configuration current = ctx.best_config();
-  double current_objective = ctx.best_objective();
-
-  while (!ctx.exhausted()) {
+void BanditEnsemble::ask(std::vector<Proposal>& out, std::size_t max) {
+  Impl& s = *impl_;
+  while (out.size() < max) {
     // Pick the operator with the best credit + exploration bonus.
     std::size_t op = 0;
     double best_score = -1.0;
-    for (std::size_t i = 0; i < stats.size(); ++i) {
+    for (std::size_t i = 0; i < s.stats.size(); ++i) {
       const double bonus =
           options_.exploration *
-          std::sqrt(std::log(static_cast<double>(total_uses + 2)) /
-                    static_cast<double>(stats[i].uses + 1));
-      const double score = stats[i].auc() + bonus;
+          std::sqrt(std::log(static_cast<double>(s.total_uses + 2)) /
+                    static_cast<double>(s.stats[i].uses + 1));
+      const double score = s.stats[i].auc() + bonus;
       if (score > best_score) {
         best_score = score;
         op = i;
       }
     }
 
-    Configuration candidate = current;
+    Configuration candidate = s.current;
     switch (static_cast<Op>(op)) {
       case kMutateSmall:
-        ctx.space().mutate(candidate, ctx.rng(), 1, 0.5);
+        ctx().space().mutate(candidate, ctx().rng(), 1, 0.5);
         break;
       case kMutateLarge:
-        ctx.space().mutate(candidate, ctx.rng(), 3, 1.0);
+        ctx().space().mutate(candidate, ctx().rng(), 3, 1.0);
         break;
       case kMutateWide:
-        ctx.space().mutate(candidate, ctx.rng(), 6, 2.0);
+        ctx().space().mutate(candidate, ctx().rng(), 6, 2.0);
         break;
       case kStructure:
-        ctx.space().mutate_structure(candidate, ctx.rng());
+        ctx().space().mutate_structure(candidate, ctx().rng());
         break;
       case kCrossRandom: {
-        const Configuration mate = ctx.space().random_config(ctx.rng(), 0.15);
-        candidate = ctx.space().crossover(current, mate, ctx.rng());
+        const Configuration mate =
+            ctx().space().random_config(ctx().rng(), 0.15);
+        candidate = ctx().space().crossover(s.current, mate, ctx().rng());
         break;
       }
       case kRandom:
-        candidate = ctx.space().random_config(ctx.rng(), 0.15);
+        candidate = ctx().space().random_config(ctx().rng(), 0.15);
         break;
       case kOpCount:
         break;
     }
 
-    const double objective = ctx.evaluate(candidate);
-    const bool improved = objective < current_objective;
-    stats[op].note(improved, options_.window);
-    ++total_uses;
-    if (improved) {
-      current = std::move(candidate);
-      current_objective = objective;
-    }
+    out.emplace_back(std::move(candidate), op);
+    // Count the pick immediately so concurrent proposals spread across
+    // operators instead of all draining the same exploration bonus.
+    ++s.stats[op].uses;
+    ++s.total_uses;
   }
 }
 
-}  // namespace jat
+void BanditEnsemble::tell(const Observation& observation) {
+  Impl& s = *impl_;
+  const bool improved = observation.objective < s.current_objective;
+  OperatorStats& op = s.stats[observation.tag];
+  op.window.push_back(improved);
+  if (op.window.size() > options_.window) op.window.pop_front();
+  if (improved) {
+    s.current = *observation.config;
+    s.current_objective = observation.objective;
+  }
+}
 
-namespace jat {
-BanditEnsemble::BanditEnsemble() : BanditEnsemble(Options{}) {}
-BanditEnsemble::BanditEnsemble(Options options) : options_(options) {}
 }  // namespace jat

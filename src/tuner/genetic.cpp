@@ -1,7 +1,9 @@
 #include "tuner/algorithms.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <utility>
 
 namespace jat {
 
@@ -19,72 +21,103 @@ std::size_t tournament_pick(const std::vector<double>& fitness, int k, Rng& rng)
 
 }  // namespace
 
+// A generation streams through the scheduler window (ask() hands out
+// members in index order, tagged with their slot); breeding happens at the
+// generation barrier, once every member's result has been told. The window
+// naturally drains across the barrier and refills from the new generation.
+struct GeneticTuner::Impl {
+  std::size_t population_size = 0;
+  std::vector<Configuration> population;
+  std::vector<double> fitness;
+  std::size_t next_to_propose = 0;
+  std::size_t results = 0;
+};
+
+GeneticTuner::GeneticTuner() : GeneticTuner(Options{}) {}
+GeneticTuner::GeneticTuner(Options options) : options_(options) {}
+GeneticTuner::~GeneticTuner() = default;
+
 std::string GeneticTuner::name() const {
   return options_.flat ? "genetic-flat" : "genetic";
 }
 
-void GeneticTuner::tune(TuningContext& ctx) {
+void GeneticTuner::begin(StrategyContext& ctx) {
+  SearchStrategy::begin(ctx);
   ctx.set_phase("genetic");
-  const std::size_t population_size =
-      static_cast<std::size_t>(std::max(4, options_.population));
+  impl_ = std::make_unique<Impl>();
+  Impl& s = *impl_;
+  s.population_size = static_cast<std::size_t>(std::max(4, options_.population));
 
   // Generation 0: the incumbent plus lightly-randomised individuals.
-  std::vector<Configuration> population;
-  population.reserve(population_size);
-  population.push_back(ctx.best_config());
-  while (population.size() < population_size) {
-    population.push_back(
+  s.population.reserve(s.population_size);
+  s.population.push_back(ctx.best_config());
+  while (s.population.size() < s.population_size) {
+    s.population.push_back(
         options_.flat
             ? ctx.space().random_config_flat(ctx.rng(), options_.init_density)
             : ctx.space().random_config(ctx.rng(), options_.init_density));
   }
-  std::vector<double> fitness = ctx.evaluate_batch(population);
-
-  while (!ctx.exhausted()) {
-    // Rank for elitism.
-    std::vector<std::size_t> order(population.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return fitness[a] < fitness[b];
-    });
-
-    std::vector<Configuration> next;
-    next.reserve(population_size);
-    for (int e = 0; e < options_.elite &&
-                    next.size() < population_size &&
-                    static_cast<std::size_t>(e) < order.size();
-         ++e) {
-      next.push_back(population[order[static_cast<std::size_t>(e)]]);
-    }
-
-    while (next.size() < population_size) {
-      const std::size_t a = tournament_pick(fitness, options_.tournament, ctx.rng());
-      Configuration child = population[a];
-      if (ctx.rng().chance(options_.crossover_probability)) {
-        const std::size_t b =
-            tournament_pick(fitness, options_.tournament, ctx.rng());
-        child = ctx.space().crossover(population[a], population[b], ctx.rng());
-      }
-      if (!options_.flat && ctx.rng().chance(options_.structure_probability)) {
-        ctx.space().mutate_structure(child, ctx.rng());
-      }
-      const int flags = 1 + static_cast<int>(ctx.rng().next_below(4));
-      if (options_.flat) {
-        ctx.space().mutate_flat(child, ctx.rng(), flags);
-      } else {
-        ctx.space().mutate(child, ctx.rng(), flags);
-      }
-      next.push_back(std::move(child));
-    }
-
-    population = std::move(next);
-    fitness = ctx.evaluate_batch(population);
-  }
+  s.fitness.assign(s.population_size,
+                   std::numeric_limits<double>::infinity());
 }
 
-}  // namespace jat
+void GeneticTuner::ask(std::vector<Proposal>& out, std::size_t max) {
+  Impl& s = *impl_;
+  while (out.size() < max && s.next_to_propose < s.population.size()) {
+    out.emplace_back(s.population[s.next_to_propose], s.next_to_propose);
+    ++s.next_to_propose;
+  }
+  // Mid-generation with every member in flight: yield until results arrive.
+}
 
-namespace jat {
-GeneticTuner::GeneticTuner() : GeneticTuner(Options{}) {}
-GeneticTuner::GeneticTuner(Options options) : options_(options) {}
+void GeneticTuner::tell(const Observation& observation) {
+  Impl& s = *impl_;
+  s.fitness[observation.tag] = observation.objective;
+  if (++s.results < s.population.size()) return;
+  if (ctx().exhausted()) return;  // no point breeding a generation nobody runs
+
+  // Rank for elitism.
+  std::vector<std::size_t> order(s.population.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return s.fitness[a] < s.fitness[b];
+  });
+
+  std::vector<Configuration> next;
+  next.reserve(s.population_size);
+  for (int e = 0; e < options_.elite &&
+                  next.size() < s.population_size &&
+                  static_cast<std::size_t>(e) < order.size();
+       ++e) {
+    next.push_back(s.population[order[static_cast<std::size_t>(e)]]);
+  }
+
+  while (next.size() < s.population_size) {
+    const std::size_t a =
+        tournament_pick(s.fitness, options_.tournament, ctx().rng());
+    Configuration child = s.population[a];
+    if (ctx().rng().chance(options_.crossover_probability)) {
+      const std::size_t b =
+          tournament_pick(s.fitness, options_.tournament, ctx().rng());
+      child = ctx().space().crossover(s.population[a], s.population[b],
+                                      ctx().rng());
+    }
+    if (!options_.flat && ctx().rng().chance(options_.structure_probability)) {
+      ctx().space().mutate_structure(child, ctx().rng());
+    }
+    const int flags = 1 + static_cast<int>(ctx().rng().next_below(4));
+    if (options_.flat) {
+      ctx().space().mutate_flat(child, ctx().rng(), flags);
+    } else {
+      ctx().space().mutate(child, ctx().rng(), flags);
+    }
+    next.push_back(std::move(child));
+  }
+
+  s.population = std::move(next);
+  s.fitness.assign(s.population_size, std::numeric_limits<double>::infinity());
+  s.next_to_propose = 0;
+  s.results = 0;
+}
+
 }  // namespace jat

@@ -1,0 +1,185 @@
+#include "tuner/legacy_adapter.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace jat {
+
+namespace {
+
+/// One blocked evaluate() slot: filled in by tell() (or the finish() drain)
+/// and awaited by the legacy thread.
+struct Request {
+  const Configuration* config = nullptr;
+  double objective = 0.0;
+  bool done = false;
+};
+
+}  // namespace
+
+struct LegacyTunerAdapter::Channel {
+  std::mutex mutex;
+  std::condition_variable wake;
+  /// Requests the legacy thread submitted and ask() has not yet consumed.
+  std::deque<Request*> submitted;
+  /// Requests turned into proposals, FIFO; in-order tells complete front().
+  std::deque<Request*> inflight;
+  bool tuner_done = false;
+  std::exception_ptr error;
+  std::thread thread;
+
+  /// The proxy the legacy tune() loop runs against. Incumbent queries and
+  /// phase labels forward to the real context (the scheduler records
+  /// results there); evaluation round-trips through the channel.
+  class ProxyContext final : public TuningContext {
+   public:
+    ProxyContext(TuningContext& real, Channel& channel)
+        : TuningContext(real.evaluator(), real.budget(), real.db(),
+                        real.space(), real.rng(), nullptr, real.trace()),
+          real_(&real),
+          channel_(&channel) {}
+
+    void set_phase(std::string phase) override {
+      real_->set_phase(std::move(phase));
+    }
+    Configuration best_config() const override { return real_->best_config(); }
+    double best_objective() const override { return real_->best_objective(); }
+
+    double evaluate(const Configuration& config) override {
+      Request request;
+      request.config = &config;
+      submit_and_wait(&request, 1);
+      return request.objective;
+    }
+
+    std::vector<double> evaluate_batch(
+        const std::vector<Configuration>& configs) override {
+      std::vector<Request> requests(configs.size());
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        requests[i].config = &configs[i];
+      }
+      submit_and_wait(requests.data(), requests.size());
+      std::vector<double> objectives(configs.size());
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        objectives[i] = requests[i].objective;
+      }
+      return objectives;
+    }
+
+   private:
+    void submit_and_wait(Request* requests, std::size_t count) {
+      if (count == 0) return;
+      std::unique_lock lock(channel_->mutex);
+      for (std::size_t i = 0; i < count; ++i) {
+        channel_->submitted.push_back(&requests[i]);
+      }
+      channel_->wake.notify_all();
+      channel_->wake.wait(lock, [&] {
+        for (std::size_t i = 0; i < count; ++i) {
+          if (!requests[i].done) return false;
+        }
+        return true;
+      });
+    }
+
+    TuningContext* real_;
+    Channel* channel_;
+  };
+
+  std::unique_ptr<ProxyContext> proxy;
+};
+
+LegacyTunerAdapter::LegacyTunerAdapter(Tuner& tuner)
+    : tuner_(&tuner), channel_(std::make_unique<Channel>()) {}
+
+LegacyTunerAdapter::~LegacyTunerAdapter() {
+  if (channel_->thread.joinable()) channel_->thread.join();
+}
+
+void LegacyTunerAdapter::begin(StrategyContext& ctx) {
+  SearchStrategy::begin(ctx);
+  outstanding_ = 0;
+  Channel& channel = *channel_;
+  channel.proxy =
+      std::make_unique<Channel::ProxyContext>(ctx.tuning_context(), channel);
+  channel.thread = std::thread([this, &channel] {
+    try {
+      tuner_->tune(*channel.proxy);
+    } catch (...) {
+      std::lock_guard lock(channel.mutex);
+      channel.error = std::current_exception();
+    }
+    std::lock_guard lock(channel.mutex);
+    channel.tuner_done = true;
+    channel.wake.notify_all();
+  });
+}
+
+void LegacyTunerAdapter::ask(std::vector<Proposal>& out, std::size_t max) {
+  Channel& channel = *channel_;
+  std::unique_lock lock(channel.mutex);
+  if (outstanding_ == 0) {
+    // The legacy thread is running (it cannot be parked with nothing
+    // outstanding and nothing submitted): wait for its next move.
+    channel.wake.wait(lock, [&] {
+      return !channel.submitted.empty() || channel.tuner_done;
+    });
+  }
+  while (out.size() < max && !channel.submitted.empty()) {
+    Request* request = channel.submitted.front();
+    channel.submitted.pop_front();
+    channel.inflight.push_back(request);
+    ++outstanding_;
+    out.emplace_back(*request->config);
+  }
+}
+
+void LegacyTunerAdapter::tell(const Observation& observation) {
+  Channel& channel = *channel_;
+  std::lock_guard lock(channel.mutex);
+  Request* request = channel.inflight.front();
+  channel.inflight.pop_front();
+  --outstanding_;
+  request->objective = observation.objective;
+  request->done = true;
+  channel.wake.notify_all();
+}
+
+void LegacyTunerAdapter::finish() {
+  Channel& channel = *channel_;
+  // The scheduler stopped admitting (budget exhausted or the loop ended);
+  // serve any stranded requests synchronously so the legacy loop sees its
+  // results, observes exhaustion, and returns. A tuner that honours
+  // ctx.exhausted() terminates after at most one more round.
+  while (true) {
+    std::deque<Request*> stranded;
+    {
+      std::unique_lock lock(channel.mutex);
+      channel.wake.wait(lock, [&] {
+        return !channel.submitted.empty() || channel.tuner_done;
+      });
+      if (channel.tuner_done && channel.submitted.empty()) break;
+      stranded.swap(channel.submitted);
+    }
+    for (Request* request : stranded) {
+      const double objective =
+          ctx().tuning_context().evaluate(*request->config);
+      std::lock_guard lock(channel.mutex);
+      request->objective = objective;
+      request->done = true;
+      channel.wake.notify_all();
+    }
+  }
+  channel.thread.join();
+  channel.proxy.reset();
+  if (channel.error != nullptr) {
+    std::exception_ptr error = std::exchange(channel.error, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace jat

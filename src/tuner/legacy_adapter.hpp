@@ -1,0 +1,46 @@
+// LegacyTunerAdapter: runs a synchronous Tuner::tune() loop as an ask/tell
+// SearchStrategy.
+//
+// The legacy interface blocks inside evaluate()/evaluate_batch(); inverting
+// that control flow requires its own thread. The adapter runs tune() on a
+// worker thread against a proxy TuningContext whose evaluation methods park
+// the loop and hand the configurations to the scheduler as proposals;
+// tell() results unpark it. Single evaluate() calls serialize naturally
+// (one proposal in flight); evaluate_batch() maps to a multi-proposal ask,
+// so legacy batch tuners still fill the scheduler's window.
+//
+// The adapter offers no cross-thread determinism guarantees beyond the
+// legacy ones (the tune() loop itself reads the live budget clock); the
+// natively-ported in-tree strategies are the bit-identical path.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tuner/strategy.hpp"
+
+namespace jat {
+
+class LegacyTunerAdapter final : public SearchStrategy {
+ public:
+  explicit LegacyTunerAdapter(Tuner& tuner);
+  ~LegacyTunerAdapter() override;
+
+  std::string name() const override { return tuner_->name(); }
+  void begin(StrategyContext& ctx) override;
+  void ask(std::vector<Proposal>& out, std::size_t max) override;
+  void tell(const Observation& observation) override;
+  /// Joins the tune() thread. Requests stranded by budget exhaustion are
+  /// served synchronously so the loop observes exhaustion and returns;
+  /// exceptions thrown by tune() are rethrown here.
+  void finish() override;
+
+ private:
+  struct Channel;
+
+  Tuner* tuner_;
+  std::unique_ptr<Channel> channel_;
+  std::size_t outstanding_ = 0;  ///< proposals asked but not yet told
+};
+
+}  // namespace jat

@@ -6,14 +6,23 @@ std::string RandomSearch::name() const {
   return flat_ ? "random-flat" : "random";
 }
 
-void RandomSearch::tune(TuningContext& ctx) {
+void RandomSearch::begin(StrategyContext& ctx) {
+  SearchStrategy::begin(ctx);
+  next_proposal_ = 0;
   ctx.set_phase("random");
-  while (!ctx.exhausted()) {
-    const Configuration candidate =
-        flat_ ? ctx.space().random_config_flat(ctx.rng(), density_)
-              : ctx.space().random_config(ctx.rng(), density_);
-    ctx.evaluate(candidate);
+}
+
+void RandomSearch::ask(std::vector<Proposal>& out, std::size_t max) {
+  // Each candidate is drawn from its own proposal-keyed stream, so the
+  // sampled sequence is independent of how asks are batched — the window
+  // size only changes pipelining, never the points visited.
+  while (out.size() < max) {
+    Rng rng = ctx().proposal_rng(next_proposal_++);
+    out.emplace_back(flat_ ? ctx().space().random_config_flat(rng, density_)
+                           : ctx().space().random_config(rng, density_));
   }
 }
+
+void RandomSearch::tell(const Observation&) {}
 
 }  // namespace jat

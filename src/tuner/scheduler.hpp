@@ -1,0 +1,92 @@
+// EvalScheduler: a bounded in-flight evaluation window around an ask/tell
+// SearchStrategy.
+//
+// The control loop alternates two steps:
+//   fill    — while the window has space and the committed budget is not
+//             exhausted, ask the strategy for proposals and dispatch them
+//             (submitted to the session's ThreadPool when one exists;
+//             queued for lazy inline execution otherwise);
+//   deliver — take the *oldest* in-flight evaluation, wait for its result,
+//             record it (ResultDb row, trace, incumbent) on the control
+//             thread, fold its cost into the committed ledger, and tell
+//             the strategy.
+//
+// Because admission gates on the committed ledger (never the live clock,
+// whose value mid-measurement depends on thread timing) and tells are
+// delivered in proposal order, the full ask/tell trajectory — and with
+// config-keyed measurement seeds, the full outcome — is bit-identical for
+// any eval_threads at a fixed window size. The window admits work only
+// while committed spend is below the budget, so the total charge can
+// overshoot by at most one in-flight window, never unboundedly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+
+#include "tuner/strategy.hpp"
+
+namespace jat {
+
+struct SchedulerOptions {
+  /// Maximum evaluations in flight. Deliberately *not* derived from the
+  /// thread count: the window size shapes the ask/tell trajectory, so a
+  /// constant default keeps outcomes identical across eval_threads.
+  std::size_t inflight = 8;
+};
+
+class EvalScheduler {
+ public:
+  explicit EvalScheduler(TuningContext& ctx, SchedulerOptions options = {});
+
+  /// Drives the strategy to completion: begin, fill/deliver until the
+  /// strategy stops proposing or the committed budget is exhausted and the
+  /// window has drained, then finish.
+  void run(SearchStrategy& strategy);
+
+  // Window statistics for the last run (the "window" trace event and the
+  // scheduler-throughput bench).
+  std::int64_t dispatched() const { return dispatched_; }
+  std::size_t max_inflight() const { return max_inflight_; }
+  double avg_inflight() const;
+
+ private:
+  struct InFlight {
+    InFlight(std::uint64_t id, Proposal proposal)
+        : id(id),
+          tag(proposal.tag),
+          phase(std::move(proposal.phase)),
+          config(std::move(proposal.config)) {}
+
+    std::uint64_t id;
+    std::uint64_t tag;
+    std::string phase;
+    Configuration config;
+    /// Valid when a pool dispatched the measurement; otherwise the
+    /// evaluation runs inline at delivery time (same trajectory either
+    /// way — see the determinism contract in strategy.hpp).
+    std::future<TuningContext::MeasuredEval> pending;
+  };
+
+  void dispatch(Proposal proposal);
+  void deliver(SearchStrategy& strategy);
+  bool committed_exhausted() const {
+    return committed_spent_ >= ctx_->budget().total();
+  }
+
+  TuningContext* ctx_;
+  SchedulerOptions options_;
+  StrategyContext strategy_ctx_;
+  std::deque<InFlight> window_;
+  std::uint64_t next_id_ = 0;
+
+  SimTime committed_spent_;
+  std::int64_t committed_evals_ = 0;
+
+  std::int64_t dispatched_ = 0;
+  std::size_t max_inflight_ = 0;
+  std::int64_t inflight_samples_ = 0;
+  std::int64_t inflight_sum_ = 0;
+};
+
+}  // namespace jat

@@ -1,5 +1,7 @@
 #include "tuner/session.hpp"
 
+#include "tuner/legacy_adapter.hpp"
+#include "tuner/scheduler.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
@@ -11,6 +13,11 @@ TuningSession::TuningSession(const JvmSimulator& simulator, WorkloadSpec workloa
     : simulator_(&simulator), workload_(std::move(workload)), options_(options) {}
 
 TuningOutcome TuningSession::run(Tuner& tuner) {
+  LegacyTunerAdapter adapter(tuner);
+  return run(adapter);
+}
+
+TuningOutcome TuningSession::run(SearchStrategy& strategy) {
   RunnerOptions runner_options;
   runner_options.repetitions = options_.repetitions;
   runner_options.seed = options_.seed;
@@ -52,7 +59,7 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
   if (trace != nullptr) {
     trace->emit(TraceEvent("session_start")
                     .with("workload", workload_.name)
-                    .with("tuner", tuner.name())
+                    .with("tuner", strategy.name())
                     .with("budget_s", options_.budget.as_seconds())
                     .with("repetitions",
                           static_cast<std::int64_t>(options_.repetitions))
@@ -62,7 +69,7 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
                     .with("resilient", options_.resilient));
   }
 
-  Rng rng(mix64(options_.seed, fnv1a64(tuner.name())));
+  Rng rng(mix64(options_.seed, fnv1a64(strategy.name())));
   TuningContext ctx(*evaluator, budget, *db, space, rng, pool.get(), trace);
 
   // Baseline: the default configuration, charged to the same budget —
@@ -80,12 +87,13 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
     runner.set_time_limit(SimTime::millis(static_cast<std::int64_t>(default_ms * 5.0)));
   }
 
-  log_info() << "tuning " << workload_.name << " with " << tuner.name()
+  log_info() << "tuning " << workload_.name << " with " << strategy.name()
              << " (budget " << options_.budget.to_string() << ", default "
              << fmt(default_ms, 0) << " ms)";
   (void)default_ms;
 
-  tuner.tune(ctx);
+  EvalScheduler scheduler(ctx, SchedulerOptions{options_.inflight});
+  scheduler.run(strategy);
 
   // Validation pass: re-measure the incumbent (and the baseline) with fresh
   // seeds and more repetitions. Reporting the *search* minimum would suffer
@@ -120,7 +128,7 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
   if (resilient) fault_stats += resilient->stats();
 
   TuningOutcome outcome{.workload_name = workload_.name,
-                        .tuner_name = tuner.name(),
+                        .tuner_name = strategy.name(),
                         .best_config = best_config,
                         .default_ms = validated_default,
                         .best_ms = validated_best,
@@ -138,7 +146,7 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
                                outcome.improvement_frac());
     trace->emit(TraceEvent("session_end", budget.spent())
                     .with("workload", workload_.name)
-                    .with("tuner", tuner.name())
+                    .with("tuner", strategy.name())
                     .with("default_ms", outcome.default_ms)
                     .with("best_ms", outcome.best_ms)
                     .with("improvement", outcome.improvement_frac())

@@ -29,9 +29,15 @@ struct SessionOptions {
   int repetitions = 3;
   /// Master seed; the tuner's stream is derived from (seed, tuner name).
   std::uint64_t seed = 2015;
-  /// Worker threads for batch evaluation (0 = serial). Parallelism changes
-  /// wall-clock only; each run's seed depends only on its configuration.
+  /// Worker threads for pipelined evaluation (0 = serial). Parallelism
+  /// changes wall-clock only; each run's seed depends only on its
+  /// configuration, and the scheduler's committed-ledger admission keeps
+  /// native strategies' outcomes identical for any thread count.
   std::size_t eval_threads = 0;
+  /// Maximum evaluations the scheduler keeps in flight. Part of the search
+  /// trajectory (it bounds speculation), deliberately independent of
+  /// eval_threads — see SchedulerOptions.
+  std::size_t inflight = 8;
   /// Simulated per-run harness overhead (JVM spawn etc.), seconds.
   double per_run_overhead_s = 2.0;
   /// Racing factor forwarded to the search runner (see RunnerOptions);
@@ -59,16 +65,19 @@ struct TuningOutcome {
   double default_ms = 0;  ///< objective of the default configuration
   double best_ms = 0;     ///< objective of the best configuration found
 
+  /// True when both measurements are usable as a ratio: finite, positive.
+  /// A crashed baseline or a crashed winner makes the comparison
+  /// meaningless, and both ratio metrics below agree on returning 0.
+  bool comparable() const {
+    return default_ms > 0 && best_ms > 0 && std::isfinite(default_ms) &&
+           std::isfinite(best_ms);
+  }
   /// The paper's headline metric: (default - tuned) / default. Zero when
-  /// the baseline itself failed (no meaningful reference).
+  /// either side failed (no meaningful reference).
   double improvement_frac() const {
-    if (!(default_ms > 0) || !std::isfinite(default_ms)) return 0.0;
-    return (default_ms - best_ms) / default_ms;
+    return comparable() ? (default_ms - best_ms) / default_ms : 0.0;
   }
-  double speedup() const {
-    if (!(best_ms > 0) || !std::isfinite(default_ms)) return 0.0;
-    return default_ms / best_ms;
-  }
+  double speedup() const { return comparable() ? default_ms / best_ms : 0.0; }
 
   std::int64_t evaluations = 0;  ///< configurations measured (incl. cached)
   std::int64_t runs = 0;         ///< simulated JVM launches
@@ -86,8 +95,12 @@ class TuningSession {
   TuningSession(const JvmSimulator& simulator, WorkloadSpec workload,
                 SessionOptions options = {});
 
-  /// Runs one tuner with fresh state (budget, cache, log) and returns the
-  /// outcome. Deterministic for fixed options when eval_threads == 0.
+  /// Runs one strategy with fresh state (budget, cache, log) through the
+  /// EvalScheduler and returns the outcome. Deterministic for fixed
+  /// options and any eval_threads (see the contract in tuner/strategy.hpp).
+  TuningOutcome run(SearchStrategy& strategy);
+  /// Legacy entry point: wraps the tuner in a LegacyTunerAdapter. Only as
+  /// deterministic as the tune() loop itself.
   TuningOutcome run(Tuner& tuner);
 
   const SessionOptions& session_options() const { return options_; }

@@ -5,9 +5,35 @@
 // nothing else. This tuner spends the same budget as the whole-JVM tuners
 // but can only move those knobs, which is exactly the comparison the
 // paper's abstract draws.
+//
+// Ask/tell port: the collector sweep is one speculative batch; the
+// coordinate descent emits each flag's candidate probes as a batch and
+// barriers on them (queue drained, nothing outstanding) before moving to
+// the next flag, so acceptance matches the serial sweep order.
 #include "tuner/algorithms.hpp"
 
+#include <deque>
+#include <limits>
+#include <utility>
+
 namespace jat {
+
+struct SubsetTuner::Impl {
+  enum class Stage { kStart, kGcSweep, kDescent };
+
+  std::vector<FlagId> subset;
+  Stage stage = Stage::kStart;
+  std::deque<Configuration> queue;  ///< current batch, not yet proposed
+  std::size_t outstanding = 0;      ///< proposed, result not yet told
+
+  Configuration current;
+  double current_objective = std::numeric_limits<double>::infinity();
+  double scale = 1.5;
+  std::size_t flag_cursor = 0;
+  bool improved_this_pass = false;
+
+  explicit Impl(Configuration seed) : current(std::move(seed)) {}
+};
 
 SubsetTuner::SubsetTuner()
     : SubsetTuner(std::vector<std::string>{
@@ -17,58 +43,103 @@ SubsetTuner::SubsetTuner()
 SubsetTuner::SubsetTuner(std::vector<std::string> flag_names)
     : flag_names_(std::move(flag_names)) {}
 
+SubsetTuner::~SubsetTuner() = default;
+
 std::string SubsetTuner::name() const { return "subset"; }
 
-void SubsetTuner::tune(TuningContext& ctx) {
-  const FlagHierarchy& hierarchy = ctx.space().hierarchy();
+void SubsetTuner::begin(StrategyContext& ctx) {
+  SearchStrategy::begin(ctx);
+  impl_ = std::make_unique<Impl>(ctx.best_config());
+  const FlagRegistry& registry = ctx.space().hierarchy().registry();
+  impl_->subset.reserve(flag_names_.size());
+  for (const auto& name : flag_names_) {
+    impl_->subset.push_back(registry.require(name));
+  }
+}
+
+void SubsetTuner::ask(std::vector<Proposal>& out, std::size_t max) {
+  Impl& s = *impl_;
+  const FlagHierarchy& hierarchy = ctx().space().hierarchy();
   const FlagRegistry& registry = hierarchy.registry();
 
-  std::vector<FlagId> subset;
-  subset.reserve(flag_names_.size());
-  for (const auto& name : flag_names_) subset.push_back(registry.require(name));
-
-  // Collector choice is part of the classic subset: try each option.
-  ctx.set_phase("subset:gc");
-  for (const StructuralGroup& group : hierarchy.groups()) {
-    if (group.name != "gc") continue;
-    for (std::size_t option = 0; option < group.options.size(); ++option) {
-      if (ctx.exhausted()) return;
-      Configuration candidate(registry);
-      group.apply(candidate, option);
-      ctx.evaluate(candidate);
+  while (out.size() < max) {
+    if (!s.queue.empty()) {
+      out.emplace_back(std::move(s.queue.front()));
+      s.queue.pop_front();
+      ++s.outstanding;
+      continue;
     }
-  }
+    if (s.outstanding > 0) return;  // batch barrier: wait for results
 
-  // Coordinate descent over the subset, repeated with shrinking steps
-  // until the budget runs out.
-  ctx.set_phase("subset:descent");
-  Configuration current = ctx.best_config();
-  double current_objective = ctx.best_objective();
-  double scale = 1.5;
-  while (!ctx.exhausted()) {
-    bool improved_this_pass = false;
-    for (FlagId id : subset) {
-      if (ctx.exhausted()) return;
-      const FlagSpec& spec = registry.spec(id);
-      for (int attempt = 0; attempt < 4; ++attempt) {
-        if (ctx.exhausted()) return;
-        Configuration candidate = current;
-        const FlagValue value = attempt == 0
-                                    ? ctx.space().random_value(spec, ctx.rng())
-                                    : ctx.space().neighbor_value(
-                                          spec, current.get(id), ctx.rng(), scale);
-        if (value == current.get(id)) continue;
-        candidate.set(id, value);
-        const double objective = ctx.evaluate(candidate);
-        if (objective < current_objective) {
-          current = std::move(candidate);
-          current_objective = objective;
-          improved_this_pass = true;
+    // Batch complete (or first ask): advance the stage machine.
+    switch (s.stage) {
+      case Impl::Stage::kStart: {
+        // Collector choice is part of the classic subset: try each option.
+        ctx().set_phase("subset:gc");
+        for (const StructuralGroup& group : hierarchy.groups()) {
+          if (group.name != "gc") continue;
+          for (std::size_t option = 0; option < group.options.size();
+               ++option) {
+            Configuration candidate(registry);
+            group.apply(candidate, option);
+            s.queue.push_back(std::move(candidate));
+          }
         }
+        s.stage = Impl::Stage::kGcSweep;
+        break;
+      }
+      case Impl::Stage::kGcSweep: {
+        // All collector results are in; descend from the incumbent.
+        ctx().set_phase("subset:descent");
+        s.current = ctx().best_config();
+        s.current_objective = ctx().best_objective();
+        s.flag_cursor = 0;
+        s.improved_this_pass = false;
+        s.stage = Impl::Stage::kDescent;
+        break;
+      }
+      case Impl::Stage::kDescent: {
+        // Build the next flag's candidate batch; a flag whose draws all
+        // collapse onto the current value is skipped. Bounded scan so a
+        // degenerate subset (all single-valued flags) yields cleanly.
+        for (std::size_t visits = 0;
+             s.queue.empty() && visits < 8 * s.subset.size(); ++visits) {
+          if (s.flag_cursor >= s.subset.size()) {
+            s.scale = s.improved_this_pass ? s.scale : s.scale * 0.6;
+            if (s.scale < 0.1) s.scale = 1.5;  // cycle steps, don't stall
+            s.flag_cursor = 0;
+            s.improved_this_pass = false;
+          }
+          const FlagId id = s.subset[s.flag_cursor];
+          const FlagSpec& spec = registry.spec(id);
+          for (int attempt = 0; attempt < 4; ++attempt) {
+            const FlagValue value =
+                attempt == 0
+                    ? ctx().space().random_value(spec, ctx().rng())
+                    : ctx().space().neighbor_value(spec, s.current.get(id),
+                                                   ctx().rng(), s.scale);
+            if (value == s.current.get(id)) continue;
+            Configuration candidate = s.current;
+            candidate.set(id, value);
+            s.queue.push_back(std::move(candidate));
+          }
+          ++s.flag_cursor;
+        }
+        if (s.queue.empty()) return;  // degenerate space: stop proposing
+        break;
       }
     }
-    scale = improved_this_pass ? scale : scale * 0.6;
-    if (scale < 0.1) scale = 1.5;  // cycle step sizes rather than stall
+  }
+}
+
+void SubsetTuner::tell(const Observation& observation) {
+  Impl& s = *impl_;
+  --s.outstanding;
+  if (s.stage != Impl::Stage::kDescent) return;
+  if (observation.objective < s.current_objective) {
+    s.current = *observation.config;
+    s.current_objective = observation.objective;
+    s.improved_this_pass = true;
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tuner/legacy_adapter.hpp"
+#include "tuner/scheduler.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/units.hpp"
@@ -70,6 +72,11 @@ SuiteTuningSession::SuiteTuningSession(const JvmSimulator& simulator,
     : simulator_(&simulator), workloads_(std::move(workloads)), options_(options) {}
 
 SuiteOutcome SuiteTuningSession::run(Tuner& tuner) {
+  LegacyTunerAdapter adapter(tuner);
+  return run(adapter);
+}
+
+SuiteOutcome SuiteTuningSession::run(SearchStrategy& strategy) {
   RunnerOptions runner_options;
   runner_options.repetitions = options_.repetitions;
   runner_options.seed = options_.seed;
@@ -84,14 +91,15 @@ SuiteOutcome SuiteTuningSession::run(Tuner& tuner) {
     pool = std::make_unique<ThreadPool>(options_.eval_threads);
   }
 
-  Rng rng(mix64(options_.seed, fnv1a64("suite:" + tuner.name())));
+  Rng rng(mix64(options_.seed, fnv1a64("suite:" + strategy.name())));
   TuningContext ctx(runner, budget, *db, space, rng, pool.get());
 
   ctx.set_phase("default");
   const Configuration defaults(space.registry());
   ctx.evaluate(defaults);  // score 1000 by construction
 
-  tuner.tune(ctx);
+  EvalScheduler scheduler(ctx, SchedulerOptions{options_.inflight});
+  scheduler.run(strategy);
 
   // Validation pass with fresh seeds.
   RunnerOptions validation_options = runner_options;
@@ -102,7 +110,7 @@ SuiteOutcome SuiteTuningSession::run(Tuner& tuner) {
   Configuration best_config = ctx.best_config();
   const auto tuned_each = validator.measure_each(best_config, nullptr);
 
-  SuiteOutcome outcome{.tuner_name = tuner.name(),
+  SuiteOutcome outcome{.tuner_name = strategy.name(),
                        .best_config = best_config,
                        .geomean_ratio = 1.0,
                        .per_workload_improvement = {},
@@ -141,7 +149,7 @@ SuiteOutcome SuiteTuningSession::run(Tuner& tuner) {
     }
   }
 
-  log_info() << "suite tuning with " << tuner.name() << ": geomean improvement "
+  log_info() << "suite tuning with " << strategy.name() << ": geomean improvement "
              << format_percent(outcome.improvement_frac()) << " over "
              << workloads_.size() << " workloads";
   return outcome;

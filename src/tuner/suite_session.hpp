@@ -71,6 +71,9 @@ class SuiteTuningSession {
   /// Tunes one configuration against the whole suite. The budget covers
   /// the complete session (a candidate costs the sum of its per-workload
   /// runs), like tuning against a composite benchmark.
+  /// Runs one strategy through the EvalScheduler against the whole suite.
+  SuiteOutcome run(SearchStrategy& strategy);
+  /// Legacy entry point: wraps the tuner in a LegacyTunerAdapter.
   SuiteOutcome run(Tuner& tuner);
 
  private:

@@ -28,29 +28,41 @@ void TuningContext::set_phase(std::string phase) {
   phase_ = std::move(phase);
 }
 
-double TuningContext::evaluate(const Configuration& config) {
-  const Measurement m = evaluator_->measure(config, budget_);
+TuningContext::MeasuredEval TuningContext::measure_only(
+    const Configuration& config) {
+  MeteredBudget meter(budget_);
+  Measurement measurement = evaluator_->measure(config, &meter);
+  return MeasuredEval{std::move(measurement), meter.metered()};
+}
+
+double TuningContext::record(const Configuration& config,
+                             const Measurement& m, const std::string& phase) {
   const double objective = m.objective();
   const std::uint64_t fingerprint = config.fingerprint();
-  std::string phase;
-  {
+  std::string label = phase;
+  if (label.empty()) {
     std::lock_guard lock(mutex_);
-    phase = phase_;
+    label = phase_;
   }
   db_->record(fingerprint, objective, budget_->spent(),
-              config.render_command_line(), phase, m.fault, m.crash_reason,
+              config.render_command_line(), label, m.fault, m.crash_reason,
               m.attempts);
   if (trace_ != nullptr) {
     trace_->emit(TraceEvent("eval", budget_->spent())
                      .with("fingerprint", fingerprint_hex(fingerprint))
                      .with("objective_ms", objective)
-                     .with("phase", phase)
+                     .with("phase", label)
                      .with("fault", std::string(to_string(m.fault)))
                      .with("attempts", static_cast<std::int64_t>(m.attempts)));
     trace_->metrics().add("tuner.evaluations");
   }
-  consider(config, fingerprint, objective, phase);
+  consider(config, fingerprint, objective, label);
   return objective;
+}
+
+double TuningContext::evaluate(const Configuration& config) {
+  const Measurement m = evaluator_->measure(config, budget_);
+  return record(config, m);
 }
 
 std::vector<double> TuningContext::evaluate_batch(
@@ -59,12 +71,28 @@ std::vector<double> TuningContext::evaluate_batch(
                                  std::numeric_limits<double>::infinity());
   if (pool_ == nullptr || configs.size() <= 1) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (i > 0 && budget_->exhausted()) break;  // match serial tuner loops
       objectives[i] = evaluate(configs[i]);
     }
     return objectives;
   }
-  pool_->parallel_for(configs.size(), [&](std::size_t i) {
+  // Admission decided serially, in index order, before any worker runs:
+  // reserve an estimated per-eval cost for each member and stop admitting
+  // once reservations cover the remaining budget. Workers release their
+  // reservation when the real charge lands, so the clock can overshoot by
+  // at most the estimation error of the runs actually in flight — never by
+  // a whole run per worker.
+  const std::size_t done = db_->size();
+  const SimTime estimate =
+      done > 0 ? budget_->spent() * (1.0 / static_cast<double>(done))
+               : SimTime::zero();
+  std::size_t admitted = 0;
+  while (admitted < configs.size() && budget_->try_reserve(estimate)) {
+    ++admitted;
+  }
+  pool_->parallel_for(admitted, [&](std::size_t i) {
     objectives[i] = evaluate(configs[i]);
+    budget_->release(estimate);
   });
   return objectives;
 }

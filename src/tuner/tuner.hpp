@@ -21,17 +21,24 @@ namespace jat {
 
 /// Everything a tuner needs: evaluation, budget, randomness, and the
 /// incumbent. Evaluations are logged to the ResultDb automatically.
+///
+/// The evaluation entry points are virtual so the ask/tell scheduler's
+/// LegacyTunerAdapter can substitute a proxy that routes a legacy
+/// Tuner::tune() loop through the bounded in-flight window (see
+/// tuner/legacy_adapter.hpp) while incumbent/db state stays shared.
 class TuningContext {
  public:
   TuningContext(Evaluator& evaluator, BudgetClock& budget, ResultDb& db,
                 const SearchSpace& space, Rng rng, ThreadPool* pool = nullptr,
                 TraceSink* trace = nullptr);
+  virtual ~TuningContext() = default;
 
   const SearchSpace& space() const { return *space_; }
   Rng& rng() { return rng_; }
   BudgetClock& budget() { return *budget_; }
   ResultDb& db() { return *db_; }
   Evaluator& evaluator() { return *evaluator_; }
+  ThreadPool* pool() { return pool_; }
 
   bool exhausted() const { return budget_->exhausted(); }
 
@@ -47,21 +54,45 @@ class TuningContext {
 
   /// Sets the label recorded with subsequent evaluations ("structural",
   /// "subtree:gc", ...) and emits a phase-transition trace event.
-  void set_phase(std::string phase);
+  virtual void set_phase(std::string phase);
 
   /// Measures, logs, and tracks the incumbent. Returns the objective
   /// (+inf for crashes).
-  double evaluate(const Configuration& config);
+  virtual double evaluate(const Configuration& config);
 
   /// Evaluates a batch, in parallel when a thread pool was provided.
-  /// Result i corresponds to configs[i].
-  std::vector<double> evaluate_batch(const std::vector<Configuration>& configs);
+  /// Result i corresponds to configs[i]. Parallel dispatch is admission-
+  /// controlled with BudgetClock::try_reserve (decided serially, in index
+  /// order, before workers launch): once reservations cover the remaining
+  /// budget the rest of the batch is skipped (+inf) instead of overshooting
+  /// by one run per worker.
+  virtual std::vector<double> evaluate_batch(
+      const std::vector<Configuration>& configs);
 
   /// Best configuration seen so far, by value (safe under concurrent
   /// evaluation). The session seeds this with the default configuration
   /// before the tuner starts, so it is always callable from tune().
-  Configuration best_config() const;
-  double best_objective() const;
+  virtual Configuration best_config() const;
+  virtual double best_objective() const;
+
+  // ---- split evaluation (the ask/tell scheduler's building blocks) ----
+
+  struct MeasuredEval {
+    Measurement measurement;
+    SimTime cost;  ///< budget charged by this measurement, all layers
+  };
+
+  /// Measures without recording: safe to call from worker threads. The
+  /// returned cost is the exact budget charge of this measurement (metered
+  /// through every evaluator layer).
+  MeasuredEval measure_only(const Configuration& config);
+
+  /// Records a completed measurement: ResultDb row, eval trace event, and
+  /// the incumbent update. Called on the scheduler's control thread so row
+  /// order and the incumbent are deterministic. An empty `phase` uses the
+  /// current set_phase() label. Returns the objective.
+  double record(const Configuration& config, const Measurement& measurement,
+                const std::string& phase = std::string());
 
  private:
   void consider(const Configuration& config, std::uint64_t fingerprint,
@@ -85,9 +116,12 @@ class TuningContext {
   std::uint64_t best_fingerprint_;
 };
 
-/// A search strategy. tune() runs until the budget is exhausted (checking
-/// ctx.exhausted() between evaluations) and relies on the context to track
-/// the best configuration.
+/// The legacy synchronous search interface. tune() runs until the budget is
+/// exhausted (checking ctx.exhausted() between evaluations) and relies on
+/// the context to track the best configuration. In-tree algorithms now
+/// implement the ask/tell SearchStrategy interface (tuner/strategy.hpp);
+/// Tuner remains for out-of-tree subclasses, which sessions run through
+/// LegacyTunerAdapter.
 class Tuner {
  public:
   virtual ~Tuner() = default;

@@ -19,6 +19,7 @@
 #include "harness/resilient.hpp"
 #include "support/log.hpp"
 #include "tuner/algorithms.hpp"
+#include "tuner/scheduler.hpp"
 #include "tuner/session.hpp"
 #include "workloads/suites.hpp"
 
@@ -60,15 +61,16 @@ class FailureInjection : public ::testing::Test {
     return configs;
   }
 
-  /// Drives a tuner through a context built on the given evaluator.
-  double drive(Tuner& tuner, Evaluator& evaluator, SimTime budget_total) {
+  /// Drives a strategy through a context built on the given evaluator.
+  double drive(SearchStrategy& strategy, Evaluator& evaluator,
+               SimTime budget_total) {
     BudgetClock budget(budget_total);
     ResultDb db;
     const SearchSpace space(FlagHierarchy::hotspot());
     TuningContext ctx(evaluator, budget, db, space, Rng(3));
     ctx.set_phase("default");
     ctx.evaluate(Configuration(space.registry()));
-    tuner.tune(ctx);
+    EvalScheduler(ctx).run(strategy);
     EXPECT_GT(db.size(), 0u);
     // Budget never silently ignored: the tuner stopped near exhaustion.
     EXPECT_TRUE(budget.exhausted());
@@ -338,7 +340,7 @@ TEST_F(FailureInjection, TunersSurviveThirtyPercentFlakiness) {
 
 TEST_F(FailureInjection, EveryAlgorithmTerminatesUnderFlakiness) {
   BenchmarkRunner runner(sim_, workload_);
-  std::vector<std::unique_ptr<Tuner>> tuners;
+  std::vector<std::unique_ptr<SearchStrategy>> tuners;
   tuners.push_back(std::make_unique<RandomSearch>(0.15));
   tuners.push_back(std::make_unique<HillClimber>());
   tuners.push_back(std::make_unique<SimulatedAnnealing>());
@@ -365,7 +367,7 @@ TEST_F(FailureInjection, TotalHarnessFailureStillTerminates) {
   TuningContext ctx(resilient, budget, db, space, Rng(1));
   ctx.set_phase("default");
   ctx.evaluate(Configuration(space.registry()));
-  tuner.tune(ctx);  // must not hang or throw
+  EvalScheduler(ctx).run(tuner);  // must not hang or throw
   EXPECT_TRUE(budget.exhausted());
   EXPECT_TRUE(std::isinf(ctx.best_objective()));
   // The incumbent is still retrievable (the crashed default).
@@ -388,7 +390,7 @@ TEST_F(FailureInjection, IncumbentFiniteWheneverAnyFiniteResultExists) {
     ctx.set_phase("default");
     ctx.evaluate(Configuration(space.registry()));
     HierarchicalTuner tuner;
-    tuner.tune(ctx);
+    EvalScheduler(ctx).run(tuner);
     if (std::isfinite(db.best_objective())) {
       EXPECT_TRUE(std::isfinite(ctx.best_objective())) << "seed " << seed;
       EXPECT_EQ(ctx.best_objective(), db.best_objective()) << "seed " << seed;

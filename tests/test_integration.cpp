@@ -16,8 +16,8 @@ class Integration : public ::testing::Test {
   Integration() { set_log_level(LogLevel::kWarn); }
   JvmSimulator sim_;
 
-  TuningOutcome tune(const WorkloadSpec& w, Tuner& tuner, double minutes,
-                     std::uint64_t seed = 7) {
+  TuningOutcome tune(const WorkloadSpec& w, SearchStrategy& tuner,
+                     double minutes, std::uint64_t seed = 7) {
     SessionOptions options;
     options.budget = SimTime::minutes(minutes);
     options.repetitions = 2;

@@ -40,6 +40,9 @@ void usage() {
       "  --seed N            master seed (default 2015)\n"
       "  --reps N            timed repetitions per candidate (default 3)\n"
       "  --threads N         parallel candidate evaluation threads\n"
+      "  --eval-threads N    alias for --threads\n"
+      "  --inflight N        max evaluations in flight in the scheduler\n"
+      "                      window (default 8; part of the trajectory)\n"
       "  --out FILE          write the tuned flags to FILE\n"
       "  --trace FILE        write a structured JSONL event trace to FILE\n"
       "                      (inspect with trace_report)\n"
@@ -50,7 +53,7 @@ void usage() {
       "  --list              list available workloads\n");
 }
 
-std::unique_ptr<Tuner> make_tuner(const std::string& name) {
+std::unique_ptr<SearchStrategy> make_tuner(const std::string& name) {
   if (name == "hierarchical") return std::make_unique<HierarchicalTuner>();
   if (name == "random") return std::make_unique<RandomSearch>(0.15);
   if (name == "hillclimb") return std::make_unique<HillClimber>();
@@ -75,7 +78,7 @@ void list_workloads() {
 }
 
 int tune_one(const std::string& workload_name, const SessionOptions& options,
-             Tuner& tuner, const std::string& out_path, bool explain) {
+             SearchStrategy& tuner, const std::string& out_path, bool explain) {
   JvmSimulator simulator;
   const WorkloadSpec& workload = find_workload(workload_name);
   TuningSession session(simulator, workload, options);
@@ -130,7 +133,7 @@ int tune_one(const std::string& workload_name, const SessionOptions& options,
 }
 
 int tune_suite(const std::string& suite_name, const SessionOptions& options,
-               Tuner& tuner, const std::string& out_path) {
+               SearchStrategy& tuner, const std::string& out_path) {
   std::vector<WorkloadSpec> suite;
   if (suite_name == "specjvm2008") {
     suite = specjvm2008_startup();
@@ -196,8 +199,10 @@ int main(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--reps") {
       options.repetitions = std::atoi(next());
-    } else if (arg == "--threads") {
+    } else if (arg == "--threads" || arg == "--eval-threads") {
       options.eval_threads = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--inflight") {
+      options.inflight = static_cast<std::size_t>(std::atoi(next()));
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--trace") {
