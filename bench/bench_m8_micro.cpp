@@ -106,6 +106,82 @@ void BM_MutateConfig(benchmark::State& state) {
 }
 BENCHMARK(BM_MutateConfig);
 
+void BM_JournalAppend(benchmark::State& state) {
+  // Durability tax per committed evaluation: one encoded record, one
+  // write(2), an fsync every `sync_every` appends (the session default
+  // is 8; 0 defers syncing to flush/close).
+  const std::string path = "bench_m8_journal.tmp.jsonl";
+  JournalOptions options;
+  options.sync_every = static_cast<int>(state.range(0));
+  SessionJournal journal = SessionJournal::create(path, options);
+  JournalMeta meta;
+  meta.workload = "bench";
+  meta.tuner = "random";
+  meta.budget = SimTime::minutes(200);
+  journal.write_meta(meta);
+  JournalEval eval;
+  eval.fingerprint = 0xABCDEF0123456789ULL;
+  eval.phase = "structural";
+  eval.command_line = "-XX:NewRatio=3 -XX:+UseParallelGC";
+  eval.times_ms = {5431.25, 5440.5, 5433.75};
+  eval.cost = SimTime::micros(22334808);
+  std::int64_t seq = 0;
+  for (auto _ : state) {
+    eval.seq = seq;
+    eval.budget_spent = SimTime::micros(22334808 * (seq + 1));
+    journal.append(eval);
+    ++seq;
+  }
+  state.SetItemsProcessed(seq);
+  journal.flush();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_JournalAppend)
+    ->Arg(0)->Arg(1)->Arg(8)
+    ->ArgName("sync_every")
+    ->UseRealTime();
+
+void BM_JournalReplayLoad(benchmark::State& state) {
+  // Resume-side cost: parse + checksum-verify a whole journal. Items/s is
+  // records/s over a journal of `range(0)` evaluations.
+  const std::string path = "bench_m8_replay.tmp.jsonl";
+  const std::int64_t records = state.range(0);
+  {
+    JournalOptions options;
+    options.sync_every = 0;
+    SessionJournal journal = SessionJournal::create(path, options);
+    JournalMeta meta;
+    meta.workload = "bench";
+    meta.tuner = "random";
+    meta.budget = SimTime::minutes(200);
+    journal.write_meta(meta);
+    JournalEval eval;
+    eval.phase = "structural";
+    eval.command_line = "-XX:NewRatio=3 -XX:+UseParallelGC";
+    eval.times_ms = {5431.25, 5440.5, 5433.75};
+    eval.cost = SimTime::micros(22334808);
+    for (std::int64_t seq = 0; seq < records; ++seq) {
+      eval.seq = seq;
+      eval.fingerprint = 0xABCDEF0123456789ULL + std::uint64_t(seq);
+      eval.budget_spent = SimTime::micros(22334808 * (seq + 1));
+      journal.append(eval);
+    }
+    journal.flush();
+  }
+  std::int64_t loaded = 0;
+  for (auto _ : state) {
+    SessionJournal journal = SessionJournal::resume(path);
+    loaded += static_cast<std::int64_t>(journal.committed().size());
+    benchmark::DoNotOptimize(journal.committed());
+  }
+  state.SetItemsProcessed(loaded);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_JournalReplayLoad)
+    ->Arg(100)->Arg(1000)
+    ->ArgName("records")
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_ActiveFlags(benchmark::State& state) {
   const FlagHierarchy& h = FlagHierarchy::hotspot();
   const Configuration config(FlagRegistry::hotspot());

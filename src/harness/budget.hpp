@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "support/cancellation.hpp"
 #include "support/sim_time.hpp"
 
 namespace jat {
@@ -42,7 +43,7 @@ class BudgetClock {
     const SimTime s = spent();
     return s >= total_ ? SimTime::zero() : total_ - s;
   }
-  bool exhausted() const { return spent() >= total_; }
+  virtual bool exhausted() const { return spent() >= total_; }
 
   /// Charges a cost; the clock may overshoot on the run in flight when it
   /// expires (like a real harness finishing its last measurement).
@@ -118,6 +119,68 @@ class MeteredBudget final : public BudgetClock {
 
  private:
   BudgetClock* parent_;
+  std::atomic<std::int64_t> metered_us_{0};
+};
+
+/// Per-measurement deadline decorator: forwards charges to the parent clock
+/// but caps the amount this measurement may consume. Once the metered total
+/// reaches the deadline, charges are clamped so the parent is never billed
+/// past it, exhausted() reports true (which the runner's between-repetition
+/// expiry check turns into a cutoff), and an optional CancellationToken is
+/// cancelled so cooperative layers below stop early. This is how the
+/// resilience layer turns an injected hang — a single lump charge of the
+/// full hang timeout — into a bounded, classified kTimeout instead of a
+/// budget sinkhole.
+///
+/// Like MeteredBudget, reservations are not forwarded; they belong to the
+/// root clock.
+class DeadlineBudget final : public BudgetClock {
+ public:
+  DeadlineBudget(BudgetClock* parent, SimTime deadline,
+                 CancellationToken* token = nullptr)
+      : BudgetClock(parent != nullptr ? parent->total() : SimTime::infinite()),
+        parent_(parent),
+        deadline_us_(deadline.as_micros()),
+        token_(token) {}
+
+  SimTime spent() const override {
+    return parent_ != nullptr ? parent_->spent() : metered();
+  }
+
+  bool exhausted() const override {
+    return tripped() || (parent_ != nullptr && parent_->exhausted());
+  }
+
+  void charge(SimTime cost) override {
+    const std::int64_t before =
+        metered_us_.fetch_add(cost.as_micros(), std::memory_order_relaxed);
+    std::int64_t allowed = cost.as_micros();
+    if (before >= deadline_us_) {
+      allowed = 0;
+    } else if (before + allowed > deadline_us_) {
+      allowed = deadline_us_ - before;
+    }
+    if (before + cost.as_micros() >= deadline_us_ && token_ != nullptr) {
+      token_->cancel();
+    }
+    if (allowed > 0 && parent_ != nullptr) {
+      parent_->charge(SimTime::micros(allowed));
+    }
+  }
+
+  /// Total this measurement attempted to charge (uncapped).
+  SimTime metered() const {
+    return SimTime::micros(metered_us_.load(std::memory_order_relaxed));
+  }
+  /// True once the deadline has been hit.
+  bool tripped() const {
+    return metered_us_.load(std::memory_order_relaxed) >= deadline_us_;
+  }
+
+ private:
+  BudgetClock* parent_;
+  std::int64_t deadline_us_;
+  CancellationToken* token_;
   std::atomic<std::int64_t> metered_us_{0};
 };
 

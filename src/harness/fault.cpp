@@ -19,6 +19,7 @@ FaultStats& FaultStats::operator+=(const FaultStats& other) {
   salvaged += other.salvaged;
   overcharges += other.overcharges;
   latency_spikes += other.latency_spikes;
+  hang_cancelled += other.hang_cancelled;
   return *this;
 }
 
@@ -42,6 +43,7 @@ std::string FaultStats::to_string() const {
   add("salvaged", salvaged);
   add("overcharges", overcharges);
   add("latency_spikes", latency_spikes);
+  add("hang_cancelled", hang_cancelled);
   if (out.empty()) out = "clean";
   return out;
 }

@@ -35,6 +35,7 @@ struct FaultStats {
   std::int64_t salvaged = 0;        ///< crashed reps absorbed into valid results
   std::int64_t overcharges = 0;     ///< injected budget overcharges
   std::int64_t latency_spikes = 0;  ///< injected slow-but-valid results
+  std::int64_t hang_cancelled = 0;  ///< hangs cut off by the resilience deadline
 
   std::int64_t failures() const { return transient + deterministic + timeouts; }
   FaultStats& operator+=(const FaultStats& other);

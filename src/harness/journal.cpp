@@ -1,0 +1,501 @@
+#include "harness/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "flags/configuration.hpp"
+#include "flags/registry.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/trace.hpp"
+
+namespace jat {
+
+namespace {
+
+// Records are the trace JSONL dialect plus a trailing content checksum:
+//   {...record fields...,"crc":"<16 hex digits>"}
+// The checksum is fnv1a64 over the serialised record *without* the crc
+// suffix, so any bit flip — even one that still parses as JSON — reads as
+// corruption and truncates cleanly instead of replaying garbage.
+constexpr std::size_t kCrcSuffixLen = 8 /* ,"crc":" */ + 16 /* hex */ + 2 /* "} */;
+
+std::string encode_record(const TraceEvent& event) {
+  std::string body = to_json(event);
+  char crc[32];
+  std::snprintf(crc, sizeof crc, ",\"crc\":\"%016llx\"}",
+                static_cast<unsigned long long>(fnv1a64(body)));
+  body.pop_back();  // drop the closing '}'
+  body += crc;
+  return body;
+}
+
+/// Checks the checksum and parses the record; nullopt on any corruption
+/// (bad suffix, checksum mismatch, unparseable body).
+std::optional<TraceEvent> decode_record(const std::string& line,
+                                        std::size_t line_no) {
+  if (line.size() <= kCrcSuffixLen) return std::nullopt;
+  const std::size_t marker = line.size() - kCrcSuffixLen;
+  if (line.compare(marker, 8, ",\"crc\":\"") != 0 ||
+      line.compare(line.size() - 2, 2, "\"}") != 0) {
+    return std::nullopt;
+  }
+  const std::string hex = line.substr(marker + 8, 16);
+  char* end = nullptr;
+  const std::uint64_t stored = std::strtoull(hex.c_str(), &end, 16);
+  if (end != hex.c_str() + 16) return std::nullopt;
+  std::string body = line.substr(0, marker);
+  body += '}';
+  if (fnv1a64(body) != stored) return std::nullopt;
+  try {
+    return parse_trace_jsonl_line(body, line_no);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::string render_hex(std::uint64_t value) { return fingerprint_hex(value); }
+
+std::uint64_t parse_hex(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 16);
+}
+
+std::string render_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string render_times(const std::vector<double>& times_ms) {
+  std::string out;
+  for (double t : times_ms) {
+    if (!out.empty()) out += ' ';
+    out += render_double(t);
+  }
+  return out;
+}
+
+std::vector<double> parse_times(const std::string& text) {
+  std::vector<double> out;
+  const char* p = text.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const double t = std::strtod(p, &end);
+    if (end == p) break;
+    out.push_back(t);
+    p = end;
+    while (*p == ' ') ++p;
+  }
+  return out;
+}
+
+TraceEvent meta_to_event(const JournalMeta& meta) {
+  return TraceEvent("journal_meta")
+      .with("version", static_cast<std::int64_t>(meta.version))
+      .with("kind", meta.kind)
+      .with("workload", meta.workload)
+      .with("tuner", meta.tuner)
+      .with("seed", std::to_string(meta.seed))
+      .with("budget_us", meta.budget.as_micros())
+      .with("repetitions", static_cast<std::int64_t>(meta.repetitions))
+      .with("inflight", static_cast<std::int64_t>(meta.inflight))
+      .with("eval_threads", static_cast<std::int64_t>(meta.eval_threads))
+      .with("per_run_overhead_s", meta.per_run_overhead_s)
+      .with("racing_factor", meta.racing_factor)
+      .with("space_fingerprint", render_hex(meta.space_fingerprint))
+      .with("resilient", meta.resilient)
+      .with("fault_fingerprint", render_hex(meta.fault_fingerprint));
+}
+
+JournalMeta meta_from_event(const TraceEvent& event) {
+  JournalMeta meta;
+  meta.version = static_cast<int>(event.get_int("version", -1));
+  meta.kind = event.get_string("kind");
+  meta.workload = event.get_string("workload");
+  meta.tuner = event.get_string("tuner");
+  meta.seed = std::strtoull(event.get_string("seed", "0").c_str(), nullptr, 10);
+  meta.budget = SimTime::micros(event.get_int("budget_us"));
+  meta.repetitions = static_cast<int>(event.get_int("repetitions"));
+  meta.inflight = static_cast<std::size_t>(event.get_int("inflight"));
+  meta.eval_threads = static_cast<std::size_t>(event.get_int("eval_threads"));
+  meta.per_run_overhead_s = event.get_double("per_run_overhead_s");
+  meta.racing_factor = event.get_double("racing_factor");
+  meta.space_fingerprint = parse_hex(event.get_string("space_fingerprint"));
+  meta.resilient = event.get_bool("resilient");
+  meta.fault_fingerprint = parse_hex(event.get_string("fault_fingerprint"));
+  return meta;
+}
+
+TraceEvent eval_to_event(const JournalEval& eval) {
+  return TraceEvent("journal_eval", eval.budget_spent)
+      .with("seq", eval.seq)
+      .with("fingerprint", render_hex(eval.fingerprint))
+      .with("phase", eval.phase)
+      .with("times_ms", render_times(eval.times_ms))
+      .with("crashed", eval.crashed)
+      .with("crash_reason", eval.crash_reason)
+      .with("fault", std::string(to_string(eval.fault)))
+      .with("attempts", static_cast<std::int64_t>(eval.attempts))
+      .with("failed_reps", static_cast<std::int64_t>(eval.failed_reps))
+      .with("cost_us", eval.cost.as_micros())
+      .with("spent_us", eval.budget_spent.as_micros())
+      .with("command_line", eval.command_line);
+}
+
+JournalEval eval_from_event(const TraceEvent& event) {
+  JournalEval eval;
+  eval.seq = event.get_int("seq", -1);
+  eval.fingerprint = parse_hex(event.get_string("fingerprint"));
+  eval.phase = event.get_string("phase");
+  eval.times_ms = parse_times(event.get_string("times_ms"));
+  eval.crashed = event.get_bool("crashed");
+  eval.crash_reason = event.get_string("crash_reason");
+  eval.fault = fault_class_from_string(event.get_string("fault", "none"));
+  eval.attempts = static_cast<int>(event.get_int("attempts", 1));
+  eval.failed_reps = static_cast<int>(event.get_int("failed_reps"));
+  eval.cost = SimTime::micros(event.get_int("cost_us"));
+  eval.budget_spent = SimTime::micros(event.get_int("spent_us"));
+  eval.command_line = event.get_string("command_line");
+  return eval;
+}
+
+}  // namespace
+
+Measurement JournalEval::to_measurement() const {
+  Measurement m;
+  m.config_fingerprint = fingerprint;
+  m.times_ms = times_ms;
+  m.crashed = crashed;
+  m.crash_reason = crash_reason;
+  m.fault = fault;
+  m.attempts = attempts;
+  m.failed_reps = failed_reps;
+  if (!m.times_ms.empty()) m.summary = summarize(m.times_ms);
+  return m;
+}
+
+// ---- SessionJournal ---------------------------------------------------------
+
+SessionJournal SessionJournal::create(const std::string& path,
+                                      JournalOptions options) {
+  SessionJournal journal;
+  journal.path_ = path;
+  journal.options_ = options;
+  journal.fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_APPEND,
+                       0644);
+  if (journal.fd_ < 0) {
+    throw JournalError("cannot create journal '" + path +
+                       "': " + std::strerror(errno));
+  }
+  return journal;
+}
+
+SessionJournal SessionJournal::resume(const std::string& path,
+                                      JournalOptions options) {
+  SessionJournal journal;
+  journal.path_ = path;
+  journal.options_ = options;
+  journal.fd_ = ::open(path.c_str(), O_RDWR | O_APPEND);
+  if (journal.fd_ < 0) {
+    throw JournalError("cannot open journal '" + path +
+                       "': " + std::strerror(errno));
+  }
+
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(journal.fd_, buf, sizeof buf);
+    if (n < 0) {
+      throw JournalError("cannot read journal '" + path +
+                         "': " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Tolerant read: apply the longest valid prefix; stop at the first
+  // corrupt or partial record and physically truncate the file there, so
+  // later appends continue a clean log.
+  std::size_t pos = 0;
+  std::size_t valid_end = 0;
+  std::size_t line_no = 0;
+  bool corrupt = false;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      corrupt = true;  // torn final append: no record without its newline
+      break;
+    }
+    const std::string line = data.substr(pos, nl - pos);
+    ++line_no;
+    if (!line.empty()) {
+      const std::optional<TraceEvent> event = decode_record(line, line_no);
+      if (!event.has_value()) {
+        corrupt = true;
+        break;
+      }
+      if (event->type == "journal_meta") {
+        if (journal.meta_.has_value()) {
+          throw JournalError("journal '" + path +
+                             "' holds more than one metadata record");
+        }
+        JournalMeta meta = meta_from_event(*event);
+        if (meta.version != kVersion) {
+          throw JournalError("version", std::to_string(meta.version),
+                             std::to_string(kVersion));
+        }
+        journal.meta_ = std::move(meta);
+      } else if (event->type == "journal_eval") {
+        if (!journal.meta_.has_value()) {
+          throw JournalError("journal '" + path +
+                             "' has an eval record before its metadata");
+        }
+        JournalEval eval = eval_from_event(*event);
+        const auto expected =
+            static_cast<std::int64_t>(journal.committed_.size());
+        if (eval.seq != expected) {
+          throw JournalError(
+              "journal '" + path + "' line " + std::to_string(line_no) +
+              ": duplicate or out-of-order record (expected seq " +
+              std::to_string(expected) + ", found " +
+              std::to_string(eval.seq) + ")");
+        }
+        journal.committed_.push_back(std::move(eval));
+      } else if (event->type == "journal_end") {
+        journal.ended_ = true;
+      }
+      // Unknown record types are skipped: a newer writer may add kinds this
+      // reader does not know, and their checksums already validated.
+    }
+    pos = nl + 1;
+    valid_end = pos;
+  }
+
+  if (corrupt) {
+    std::size_t dropped = 0;
+    std::size_t p = valid_end;
+    while (p < data.size()) {
+      const std::size_t nl = data.find('\n', p);
+      const std::size_t end = nl == std::string::npos ? data.size() : nl;
+      if (end > p) ++dropped;
+      p = nl == std::string::npos ? data.size() : nl + 1;
+    }
+    journal.dropped_ = dropped;
+    log_warn() << "journal " << path << ": dropped " << dropped
+               << " corrupt/partial trailing record(s); keeping "
+               << journal.committed_.size() << " committed evaluation(s)";
+    if (::ftruncate(journal.fd_, static_cast<off_t>(valid_end)) != 0) {
+      throw JournalError("cannot truncate journal '" + path +
+                         "': " + std::strerror(errno));
+    }
+  }
+
+  if (!journal.meta_.has_value()) {
+    throw JournalError("journal '" + path +
+                       "' holds no valid metadata record");
+  }
+  return journal;
+}
+
+SessionJournal::SessionJournal(SessionJournal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      options_(other.options_),
+      meta_(std::move(other.meta_)),
+      committed_(std::move(other.committed_)),
+      dropped_(other.dropped_),
+      appended_(other.appended_),
+      ended_(other.ended_) {}
+
+SessionJournal& SessionJournal::operator=(SessionJournal&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    options_ = other.options_;
+    meta_ = std::move(other.meta_);
+    committed_ = std::move(other.committed_);
+    dropped_ = other.dropped_;
+    appended_ = other.appended_;
+    ended_ = other.ended_;
+  }
+  return *this;
+}
+
+SessionJournal::~SessionJournal() { close(); }
+
+void SessionJournal::close() noexcept {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+const JournalMeta& SessionJournal::meta() const {
+  if (!meta_.has_value()) {
+    throw JournalError("journal '" + path_ + "' has no metadata record yet");
+  }
+  return *meta_;
+}
+
+void SessionJournal::write_line(const std::string& line, bool sync) {
+  if (fd_ < 0) throw JournalError("journal '" + path_ + "' is closed");
+  std::string buffer = line;
+  buffer += '\n';
+  const char* p = buffer.data();
+  std::size_t left = buffer.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw JournalError("journal write to '" + path_ +
+                         "' failed: " + std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (sync) ::fsync(fd_);
+}
+
+void SessionJournal::write_meta(const JournalMeta& meta) {
+  std::lock_guard lock(mutex_);
+  if (meta_.has_value()) {
+    throw JournalError("journal '" + path_ +
+                       "' already holds a session; resume it instead");
+  }
+  write_line(encode_record(meta_to_event(meta)), /*sync=*/true);
+  meta_ = meta;
+}
+
+void SessionJournal::append(const JournalEval& eval) {
+  std::lock_guard lock(mutex_);
+  ++appended_;
+  const bool batch_sync =
+      options_.sync_every > 0 &&
+      appended_ % static_cast<std::size_t>(options_.sync_every) == 0;
+  const bool crash_now =
+      options_.crash_after_appends > 0 &&
+      appended_ == static_cast<std::size_t>(options_.crash_after_appends);
+  // The crash hook syncs first: it simulates a power cut *after* the record
+  // became durable, the case the WAL ordering exists for.
+  write_line(encode_record(eval_to_event(eval)), batch_sync || crash_now);
+  if (crash_now) std::raise(SIGKILL);
+}
+
+void SessionJournal::append_end(std::uint64_t best_fingerprint, double best_ms,
+                                double default_ms, std::int64_t evaluations) {
+  std::lock_guard lock(mutex_);
+  TraceEvent event("journal_end");
+  event.fields.emplace_back("best_fingerprint", render_hex(best_fingerprint));
+  event.fields.emplace_back("best_ms", best_ms);
+  event.fields.emplace_back("default_ms", default_ms);
+  event.fields.emplace_back("evaluations", evaluations);
+  write_line(encode_record(event), /*sync=*/true);
+  ended_ = true;
+}
+
+void SessionJournal::flush() {
+  std::lock_guard lock(mutex_);
+  if (fd_ >= 0) ::fsync(fd_);
+}
+
+// ---- helpers ----------------------------------------------------------------
+
+std::uint64_t space_fingerprint(const FlagRegistry& registry) {
+  return mix64(Configuration(registry).fingerprint(),
+               static_cast<std::uint64_t>(registry.size()));
+}
+
+std::uint64_t fault_options_fingerprint(const FaultOptions& options) {
+  if (!options.any()) return 0;
+  std::uint64_t h = options.seed;
+  const auto mix_double = [&h](double value) {
+    h = mix64(h, std::bit_cast<std::uint64_t>(value));
+  };
+  const auto mix_time = [&h](SimTime value) {
+    h = mix64(h, static_cast<std::uint64_t>(value.as_micros()));
+  };
+  mix_double(options.transient_rate);
+  mix_time(options.failure_cost);
+  mix_double(options.deterministic_rate);
+  mix_double(options.hang_rate);
+  mix_time(options.hang_timeout);
+  mix_double(options.latency_spike_rate);
+  mix_double(options.latency_spike_factor);
+  mix_double(options.overcharge_rate);
+  mix_time(options.overcharge);
+  return h != 0 ? h : 1;
+}
+
+JournalEval make_journal_eval(std::int64_t seq, const Configuration& config,
+                              const Measurement& measurement, SimTime cost,
+                              SimTime budget_spent, const std::string& phase) {
+  JournalEval eval;
+  eval.seq = seq;
+  eval.fingerprint = config.fingerprint();
+  eval.phase = phase;
+  eval.command_line = config.render_command_line();
+  eval.times_ms = measurement.times_ms;
+  eval.crashed = measurement.crashed;
+  eval.crash_reason = measurement.crash_reason;
+  eval.fault = measurement.fault;
+  eval.attempts = measurement.attempts;
+  eval.failed_reps = measurement.failed_reps;
+  eval.cost = cost;
+  eval.budget_spent = budget_spent;
+  return eval;
+}
+
+void validate_resume_meta(const JournalMeta& journaled,
+                          const JournalMeta& session) {
+  const auto check = [](bool ok, const char* field, std::string j,
+                        std::string s) {
+    if (!ok) throw JournalError(field, std::move(j), std::move(s));
+  };
+  check(journaled.version == session.version, "version",
+        std::to_string(journaled.version), std::to_string(session.version));
+  check(journaled.kind == session.kind, "kind", journaled.kind, session.kind);
+  check(journaled.workload == session.workload, "workload", journaled.workload,
+        session.workload);
+  check(journaled.tuner == session.tuner, "tuner", journaled.tuner,
+        session.tuner);
+  check(journaled.seed == session.seed, "seed", std::to_string(journaled.seed),
+        std::to_string(session.seed));
+  check(journaled.budget == session.budget, "budget_us",
+        std::to_string(journaled.budget.as_micros()),
+        std::to_string(session.budget.as_micros()));
+  check(journaled.repetitions == session.repetitions, "repetitions",
+        std::to_string(journaled.repetitions),
+        std::to_string(session.repetitions));
+  check(journaled.inflight == session.inflight, "inflight",
+        std::to_string(journaled.inflight), std::to_string(session.inflight));
+  check(journaled.per_run_overhead_s == session.per_run_overhead_s,
+        "per_run_overhead_s", render_double(journaled.per_run_overhead_s),
+        render_double(session.per_run_overhead_s));
+  check(journaled.racing_factor == session.racing_factor, "racing_factor",
+        render_double(journaled.racing_factor),
+        render_double(session.racing_factor));
+  check(journaled.space_fingerprint == session.space_fingerprint,
+        "space_fingerprint", render_hex(journaled.space_fingerprint),
+        render_hex(session.space_fingerprint));
+  check(journaled.resilient == session.resilient, "resilient",
+        journaled.resilient ? "true" : "false",
+        session.resilient ? "true" : "false");
+  check(journaled.fault_fingerprint == session.fault_fingerprint,
+        "fault_fingerprint", render_hex(journaled.fault_fingerprint),
+        render_hex(session.fault_fingerprint));
+  // eval_threads is deliberately not validated: the determinism contract
+  // makes the trajectory identical for any thread count.
+}
+
+}  // namespace jat

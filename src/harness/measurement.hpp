@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/statistics.hpp"
@@ -33,6 +34,16 @@ constexpr const char* to_string(FaultClass fault) {
     case FaultClass::kQuarantined: return "quarantined";
   }
   return "none";
+}
+
+/// Inverse of to_string(FaultClass); unknown labels read as kNone (the
+/// session journal round-trips fault classes through their names).
+constexpr FaultClass fault_class_from_string(std::string_view name) {
+  if (name == "transient") return FaultClass::kTransient;
+  if (name == "deterministic") return FaultClass::kDeterministic;
+  if (name == "timeout") return FaultClass::kTimeout;
+  if (name == "quarantined") return FaultClass::kQuarantined;
+  return FaultClass::kNone;
 }
 
 struct Measurement {

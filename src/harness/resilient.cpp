@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "harness/budget.hpp"
+
 namespace jat {
 
 namespace {
@@ -70,7 +72,36 @@ Measurement ResilientEvaluator::measure(const Configuration& config,
   int attempt = 0;
   FaultClass recovered_from = FaultClass::kNone;
   for (;;) {
-    m = inner_->measure(config, budget);
+    if (options_.hang_deadline_s > 0.0) {
+      // Run the attempt under a per-measurement deadline: a hang that tries
+      // to charge its full harness timeout in one lump is billed only the
+      // deadline, and the trip cancels the attempt's token so cooperative
+      // layers below stop early.
+      CancellationToken hang_token;
+      DeadlineBudget deadline(budget, SimTime::seconds(options_.hang_deadline_s),
+                              &hang_token);
+      m = inner_->measure(config, &deadline);
+      if (deadline.tripped() && m.crashed) {
+        m.fault = FaultClass::kTimeout;
+        m.crash_reason = "hang deadline (" +
+                         std::to_string(options_.hang_deadline_s) +
+                         "s) exceeded";
+        {
+          std::lock_guard lock(mutex_);
+          ++stats_.hang_cancelled;
+        }
+        if (trace_ != nullptr) {
+          trace_->emit(
+              TraceEvent("hang_deadline", budget_position(budget))
+                  .with("fingerprint", fingerprint_hex(fingerprint))
+                  .with("deadline_s", options_.hang_deadline_s)
+                  .with("charged_s", deadline.metered().as_seconds()));
+          trace_->metrics().add("resilient.hang_cancelled");
+        }
+      }
+    } else {
+      m = inner_->measure(config, budget);
+    }
 
     // Salvage: a measurement with at least one valid repetition is a noisy
     // result, not a crash. BenchmarkRunner already does this for its own
@@ -89,7 +120,8 @@ Measurement ResilientEvaluator::measure(const Configuration& config,
       std::lock_guard lock(mutex_);
       retry = m.fault == FaultClass::kTransient &&
               attempt + 1 < options_.max_attempts && !breaker_open_ &&
-              (budget == nullptr || !budget->exhausted());
+              (budget == nullptr || !budget->exhausted()) &&
+              !is_cancelled(cancel_);
       if (retry) ++stats_.retries;
     }
     if (!retry) break;
@@ -157,6 +189,39 @@ Measurement ResilientEvaluator::measure(const Configuration& config,
     }
   }
   return m;
+}
+
+void ResilientEvaluator::replay_outcome(const Measurement& m) {
+  std::lock_guard lock(mutex_);
+  if (m.fault == FaultClass::kQuarantined) {
+    // A quarantine answer never ran anything; it only proves the config was
+    // already blacklisted, which an earlier replayed crash established.
+    ++stats_.quarantine_hits;
+    return;
+  }
+  if (m.attempts > 1) {
+    stats_.retries += m.attempts - 1;
+    if (!m.crashed) ++stats_.retry_successes;
+  }
+  if (!m.crashed) {
+    consecutive_failures_ = 0;
+    breaker_open_ = false;
+    records_.erase(m.config_fingerprint);
+    return;
+  }
+  if (m.fault == FaultClass::kDeterministic || m.fault == FaultClass::kTimeout) {
+    CrashRecord& record = records_[m.config_fingerprint];
+    record.reason = m.crash_reason;
+    if (!record.quarantined &&
+        ++record.hard_failures >= options_.quarantine_threshold) {
+      record.quarantined = true;
+      ++stats_.quarantined;
+    }
+  }
+  if (++consecutive_failures_ >= options_.breaker_threshold && !breaker_open_) {
+    breaker_open_ = true;
+    ++stats_.breaker_trips;
+  }
 }
 
 }  // namespace jat

@@ -19,6 +19,7 @@
 
 #include "harness/evaluator.hpp"
 #include "harness/fault.hpp"
+#include "support/cancellation.hpp"
 #include "support/trace.hpp"
 
 namespace jat {
@@ -40,6 +41,12 @@ struct ResilienceOptions {
   int breaker_threshold = 10;
   /// Nominal cost of a quarantine answer (a result-database lookup).
   double quarantine_answer_cost_s = 0.05;
+  /// Per-measurement hang deadline in simulated seconds (0 = off). Each
+  /// attempt runs under a DeadlineBudget: a candidate that tries to charge
+  /// more than this — an injected hang burning its full harness timeout,
+  /// say — is cut off at the deadline, billed only the deadline, and
+  /// classified FaultClass::kTimeout.
+  double hang_deadline_s = 0.0;
 };
 
 class ResilientEvaluator : public Evaluator {
@@ -62,6 +69,18 @@ class ResilientEvaluator : public Evaluator {
   /// counted in the sink's metrics.
   void set_trace_sink(TraceSink* trace) { trace_ = trace; }
 
+  /// Attaches a cooperative cancellation token (null to detach): a
+  /// cancelled session stops retrying — whatever the current attempt
+  /// returns is the measurement.
+  void set_cancellation(const CancellationToken* token) { cancel_ = token; }
+
+  /// Replays the bookkeeping of one previously committed measurement
+  /// (session resume): quarantine counts, breaker state, and recovery
+  /// stats are a function of the final committed measurements, so feeding
+  /// them back in commit order rebuilds this evaluator's state without
+  /// re-running anything.
+  void replay_outcome(const Measurement& measurement);
+
  private:
   struct CrashRecord {
     int hard_failures = 0;  ///< deterministic/timeout failures seen
@@ -72,6 +91,7 @@ class ResilientEvaluator : public Evaluator {
   Evaluator* inner_;
   ResilienceOptions options_;
   TraceSink* trace_ = nullptr;
+  const CancellationToken* cancel_ = nullptr;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, CrashRecord> records_;

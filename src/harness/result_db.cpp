@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 
@@ -90,18 +91,33 @@ FaultStats ResultDb::fault_counts() const {
 }
 
 bool ResultDb::save_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "index,fingerprint,objective_ms,budget_spent_s,phase,fault,attempts,"
-         "crash_reason,command_line\n";
-  for (const auto& rec : all()) {
-    out << rec.index << ',' << rec.fingerprint << ',' << rec.objective_ms << ','
-        << rec.budget_spent.as_seconds() << ',' << csv_quote(rec.phase) << ','
-        << to_string(rec.fault) << ',' << rec.attempts << ','
-        << csv_quote(rec.crash_reason) << ',' << csv_quote(rec.command_line)
-        << "\n";
+  // Crash-safe export: write a sibling temp file, then atomically rename it
+  // over the target. A crash mid-write leaves the previous export intact
+  // instead of a torn CSV.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << "index,fingerprint,objective_ms,budget_spent_s,phase,fault,attempts,"
+           "crash_reason,command_line\n";
+    for (const auto& rec : all()) {
+      out << rec.index << ',' << rec.fingerprint << ',' << rec.objective_ms
+          << ',' << rec.budget_spent.as_seconds() << ','
+          << csv_quote(rec.phase) << ',' << to_string(rec.fault) << ','
+          << rec.attempts << ',' << csv_quote(rec.crash_reason) << ','
+          << csv_quote(rec.command_line) << "\n";
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
   }
-  return static_cast<bool>(out);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace jat

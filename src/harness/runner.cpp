@@ -21,6 +21,11 @@ FaultStats BenchmarkRunner::stats() const {
   return stats_;
 }
 
+void BenchmarkRunner::seed_cache(const Measurement& measurement) {
+  std::lock_guard lock(mutex_);
+  cache_.emplace(measurement.config_fingerprint, measurement);
+}
+
 void BenchmarkRunner::trace_cache_hit(std::uint64_t fingerprint, bool joined,
                                       BudgetClock* budget) {
   if (trace_ == nullptr) return;
@@ -122,6 +127,9 @@ Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
   std::string last_crash_reason;
 
   for (int rep = 0; rep < options_.repetitions; ++rep) {
+    // Cooperative cancellation stops after the current repetition, never
+    // before the first: a drained measurement is a valid measurement.
+    if (rep > 0 && is_cancelled(cancel_)) break;
     const std::uint64_t seed =
         mix64(options_.seed, mix64(m.config_fingerprint, static_cast<std::uint64_t>(rep)));
     RunResult run = simulator_->run(config, workload_, seed);

@@ -10,6 +10,7 @@
 
 #include "flags/configuration.hpp"
 #include "harness/budget.hpp"
+#include "support/cancellation.hpp"
 #include "harness/evaluator.hpp"
 #include "harness/fault.hpp"
 #include "harness/measurement.hpp"
@@ -72,6 +73,17 @@ class BenchmarkRunner : public Evaluator {
   /// metrics. The runner never emits when no sink is attached.
   void set_trace_sink(TraceSink* trace) { trace_ = trace; }
 
+  /// Attaches a cooperative cancellation token (null to detach). A
+  /// cancelled token stops a measurement after its *current* repetition —
+  /// never before the first — so everything drained during shutdown is
+  /// still a valid (possibly fewer-rep) measurement.
+  void set_cancellation(const CancellationToken* token) { cancel_ = token; }
+
+  /// Seeds the result cache with a previously committed measurement (session
+  /// resume): a replayed configuration that is proposed again after resume
+  /// costs a cache hit, exactly as it would have in the uninterrupted run.
+  void seed_cache(const Measurement& measurement);
+
   /// Rep-level failure counters: timeouts and crashes absorbed into
   /// measurements, and how many partially-failed measurements were
   /// salvaged into valid results.
@@ -97,6 +109,7 @@ class BenchmarkRunner : public Evaluator {
   RunnerOptions options_;
   SimTime time_limit_ = SimTime::infinite();
   TraceSink* trace_ = nullptr;
+  const CancellationToken* cancel_ = nullptr;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Measurement> cache_;

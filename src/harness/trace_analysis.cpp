@@ -40,6 +40,7 @@ void reconstruct(SessionTrace& session) {
       session.workload = e.get_string("workload");
       session.tuner = e.get_string("tuner");
       session.budget = SimTime::seconds(e.get_double("budget_s"));
+      session.resumed = e.get_bool("resumed");
     } else if (e.type == "eval") {
       ++session.evaluations;
       const double objective = e.get_double("objective_ms");
@@ -76,6 +77,20 @@ void reconstruct(SessionTrace& session) {
       session.inflight_cap = e.get_int("inflight_cap");
       session.max_inflight = e.get_int("max_inflight");
       session.avg_inflight = e.get_double("avg_inflight");
+    } else if (e.type == "journal_open") {
+      session.journal_mode = e.get_string("mode");
+      session.journal_records = e.get_int("records");
+      session.journal_dropped = e.get_int("dropped");
+    } else if (e.type == "journal_replay") {
+      session.journal_replayed = e.get_int("replayed");
+      session.journal_replay_total = e.get_int("total");
+    } else if (e.type == "journal_flush") {
+      session.journal_flushed = e.get_int("records");
+    } else if (e.type == "cancelled") {
+      session.cancelled = true;
+      session.drained = e.get_int("drained");
+    } else if (e.type == "hang_deadline") {
+      ++session.hang_cancelled;
     } else if (e.type == "baseline") {
       session.baseline_ms = e.get_double("objective_ms");
     } else if (e.type == "validation") {
@@ -183,6 +198,19 @@ const std::vector<EventSpec>& schema() {
        {{"fingerprint", FieldKind::kString}, {"reason", FieldKind::kString}}},
       {"quarantine_hit", {{"fingerprint", FieldKind::kString}}},
       {"breaker", {{"open", FieldKind::kBool}}},
+      {"journal_open",
+       {{"path", FieldKind::kString},
+        {"mode", FieldKind::kString},
+        {"records", FieldKind::kInt},
+        {"dropped", FieldKind::kInt}}},
+      {"journal_replay",
+       {{"replayed", FieldKind::kInt}, {"total", FieldKind::kInt}}},
+      {"journal_flush", {{"records", FieldKind::kInt}}},
+      {"cancelled", {{"drained", FieldKind::kInt}}},
+      {"hang_deadline",
+       {{"fingerprint", FieldKind::kString},
+        {"deadline_s", FieldKind::kNumber},
+        {"charged_s", FieldKind::kNumber}}},
       {"baseline", {{"objective_ms", FieldKind::kNumber}}},
       {"validation",
        {{"default_ms", FieldKind::kNumber},
@@ -264,12 +292,29 @@ std::string render_trace_report(const std::vector<SessionTrace>& sessions,
         << " ms -> best " << fmt(session.best_ms, 0) << " ms ("
         << format_percent(session.improvement) << " improvement)\n";
     if (session.retries + session.quarantined + session.quarantine_hits +
-            session.breaker_trips >
+            session.breaker_trips + session.hang_cancelled >
         0) {
       out << "  resilience: " << session.retries << " retries, "
           << session.recovered << " recovered, " << session.quarantined
           << " quarantined (" << session.quarantine_hits << " hits), "
-          << session.breaker_trips << " breaker trips\n";
+          << session.breaker_trips << " breaker trips, "
+          << session.hang_cancelled << " hangs cancelled\n";
+    }
+    if (!session.journal_mode.empty()) {
+      out << "  durability: journal opened " << session.journal_mode;
+      if (session.journal_mode == "resume") {
+        out << " (" << session.journal_records << " committed records";
+        if (session.journal_dropped > 0) {
+          out << ", " << session.journal_dropped << " corrupt dropped";
+        }
+        out << "; replayed " << session.journal_replayed << "/"
+            << session.journal_replay_total << ")";
+      }
+      out << ", " << session.journal_flushed << " records flushed\n";
+    }
+    if (session.cancelled) {
+      out << "  cancelled: admission closed, " << session.drained
+          << " in-flight evaluation(s) drained\n";
     }
     if (session.dispatched > 0) {
       out << "  pipeline: " << session.dispatched << " dispatched, window cap "

@@ -67,6 +67,19 @@ struct SessionTrace {
   std::int64_t max_inflight = 0;     ///< peak window occupancy observed
   double avg_inflight = 0.0;         ///< mean occupancy at delivery
 
+  // Durability and cancellation (journal_* / cancelled / hang_deadline
+  // events; zero/empty for traces predating the session journal).
+  bool resumed = false;              ///< session_start carried resumed=true
+  std::string journal_mode;          ///< "fresh" | "resume" | "" (no journal)
+  std::int64_t journal_records = 0;  ///< committed records at journal open
+  std::int64_t journal_dropped = 0;  ///< corrupt/partial records truncated
+  std::int64_t journal_replayed = 0; ///< evaluations answered from the journal
+  std::int64_t journal_replay_total = 0;
+  std::int64_t journal_flushed = 0;  ///< records written at final flush
+  bool cancelled = false;            ///< a cancelled event was seen
+  std::int64_t drained = 0;          ///< in-flight evals drained on cancel
+  std::int64_t hang_cancelled = 0;   ///< hang_deadline events
+
   // Session summary as emitted in validation / session_end events.
   double baseline_ms = 0.0;    ///< search-time default measurement
   double default_ms = 0.0;     ///< validated default

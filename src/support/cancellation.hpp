@@ -1,0 +1,49 @@
+// Cooperative cancellation for the evaluation path.
+//
+// A production tuning service must be able to stop *cleanly*: an operator
+// Ctrl-C (or a supervisor's SIGTERM) should close admission, let the
+// evaluations already in flight finish, flush the journal and trace, and
+// report the incumbent — not abandon hours of measurements. The primitive
+// is deliberately tiny: a latchable atomic flag that layers poll at their
+// natural stopping points (the scheduler between asks, the runner between
+// repetitions, the resilience layer between retries). cancel() is
+// async-signal-safe, so a signal handler may call it directly.
+#pragma once
+
+#include <atomic>
+
+namespace jat {
+
+/// A one-way latch: once cancelled, stays cancelled (until reset()).
+/// Thread-safe and async-signal-safe (a lock-free atomic store/load).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Safe to call from a signal handler and from
+  /// any thread; idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token (test helper; never called on the signal path).
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "CancellationToken::cancel must be async-signal-safe");
+
+/// Null-tolerant read: layers hold `const CancellationToken*` that is
+/// nullptr when cancellation is not wired up.
+inline bool is_cancelled(const CancellationToken* token) noexcept {
+  return token != nullptr && token->cancelled();
+}
+
+}  // namespace jat

@@ -372,6 +372,11 @@ class LineParser {
 
 }  // namespace
 
+TraceEvent parse_trace_jsonl_line(const std::string& line,
+                                  std::size_t line_no) {
+  return LineParser(line, line_no).parse();
+}
+
 std::vector<TraceEvent> TraceSink::load_jsonl(std::istream& in) {
   std::vector<TraceEvent> events;
   std::string line;
@@ -380,7 +385,7 @@ std::vector<TraceEvent> TraceSink::load_jsonl(std::istream& in) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    events.push_back(LineParser(line, line_no).parse());
+    events.push_back(parse_trace_jsonl_line(line, line_no));
   }
   return events;
 }
@@ -389,6 +394,43 @@ std::vector<TraceEvent> TraceSink::load_jsonl_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw Error("cannot open trace file: " + path);
   return load_jsonl(in);
+}
+
+std::vector<TraceEvent> TraceSink::load_jsonl_lenient(std::istream& in,
+                                                      std::string* warning) {
+  // Collect lines first so "is this the final line?" is knowable; a partial
+  // record can only be the writer's torn last append, anything earlier is
+  // real corruption and still throws.
+  std::vector<std::pair<std::string, std::size_t>> lines;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    lines.emplace_back(line, line_no);
+  }
+  std::vector<TraceEvent> events;
+  events.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    try {
+      events.push_back(parse_trace_jsonl_line(lines[i].first, lines[i].second));
+    } catch (const Error& error) {
+      if (i + 1 != lines.size()) throw;
+      if (warning != nullptr) {
+        *warning = "dropped truncated final record (line " +
+                   std::to_string(lines[i].second) + "): " + error.what();
+      }
+    }
+  }
+  return events;
+}
+
+std::vector<TraceEvent> TraceSink::load_jsonl_file_lenient(
+    const std::string& path, std::string* warning) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open trace file: " + path);
+  return load_jsonl_lenient(in, warning);
 }
 
 }  // namespace jat

@@ -116,6 +116,15 @@ class TraceSink {
   static std::vector<TraceEvent> load_jsonl(std::istream& in);
   static std::vector<TraceEvent> load_jsonl_file(const std::string& path);
 
+  /// Like load_jsonl, but tolerant of a crashed writer: a malformed *final*
+  /// line (a record torn mid-write) is dropped — with a diagnostic in
+  /// `warning` when given — instead of failing the whole file. Corruption
+  /// anywhere before the final line still throws.
+  static std::vector<TraceEvent> load_jsonl_lenient(
+      std::istream& in, std::string* warning = nullptr);
+  static std::vector<TraceEvent> load_jsonl_file_lenient(
+      const std::string& path, std::string* warning = nullptr);
+
  private:
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
@@ -124,6 +133,13 @@ class TraceSink {
 
 /// Serialises one event as a single-line JSON object (no trailing newline).
 std::string to_json(const TraceEvent& event);
+
+/// Parses one write_jsonl line back into an event (the exact inverse of
+/// to_json for the flat dialect). Throws jat::Error on malformed input;
+/// `line_no` only labels the diagnostic. The session journal reuses this
+/// for its own records.
+TraceEvent parse_trace_jsonl_line(const std::string& line,
+                                  std::size_t line_no = 0);
 
 /// Canonical "0x%016x" rendering of configuration fingerprints in traces
 /// (64-bit values do not survive a JSON number round-trip intact).

@@ -18,7 +18,10 @@ double EvalScheduler::avg_inflight() const {
 
 void EvalScheduler::dispatch(Proposal proposal) {
   InFlight flight(next_id_++, std::move(proposal));
-  if (ThreadPool* pool = ctx_->pool(); pool != nullptr) {
+  // Proposal id i commits as ResultDb row db_base_ + i, so the journal
+  // record at that index — when one exists — already holds its result.
+  flight.replay = db_base_ + flight.id < ctx_->replay_total();
+  if (ThreadPool* pool = ctx_->pool(); pool != nullptr && !flight.replay) {
     // The lambda must not touch the InFlight entry (the deque reallocates);
     // copy the configuration into the task.
     Configuration config = flight.config;
@@ -46,10 +49,11 @@ void EvalScheduler::deliver(SearchStrategy& strategy) {
   InFlight flight = std::move(window_.front());
   window_.pop_front();
   const TuningContext::MeasuredEval result =
-      flight.pending.valid() ? flight.pending.get()
-                             : ctx_->measure_only(flight.config);
+      flight.replay         ? ctx_->replay_next(flight.config)
+      : flight.pending.valid() ? flight.pending.get()
+                               : ctx_->measure_only(flight.config);
   const double objective =
-      ctx_->record(flight.config, result.measurement, flight.phase);
+      ctx_->commit(flight.config, result, flight.replay, flight.phase);
   committed_spent_ += result.cost;
   ++committed_evals_;
   if (ctx_->tracing()) {
@@ -77,6 +81,8 @@ void EvalScheduler::run(SearchStrategy& strategy) {
   // measurement): deterministic, since everything before run() is serial.
   committed_spent_ = ctx_->budget().spent();
   committed_evals_ = static_cast<std::int64_t>(ctx_->db().size());
+  db_base_ = ctx_->db().size();
+  cancelled_run_ = false;
   window_.clear();
   next_id_ = 0;
   dispatched_ = 0;
@@ -92,10 +98,14 @@ void EvalScheduler::run(SearchStrategy& strategy) {
   strategy.begin(strategy_ctx_);
 
   std::vector<Proposal> proposals;
+  std::int64_t drained = 0;
   while (true) {
     // Fill the window; a strategy yielding (empty ask) stops this pass.
+    // Cancellation closes admission but never the deliver step below:
+    // evaluations already in flight drain and commit normally.
     bool yielded = false;
-    while (window_.size() < options_.inflight && !committed_exhausted()) {
+    while (window_.size() < options_.inflight && !committed_exhausted() &&
+           !ctx_->cancelled()) {
       proposals.clear();
       strategy.ask(proposals, options_.inflight - window_.size());
       if (proposals.empty()) {
@@ -104,16 +114,26 @@ void EvalScheduler::run(SearchStrategy& strategy) {
       }
       for (Proposal& proposal : proposals) dispatch(std::move(proposal));
     }
+    if (ctx_->cancelled() && !cancelled_run_) {
+      cancelled_run_ = true;
+      drained = static_cast<std::int64_t>(window_.size());
+    }
     if (window_.empty()) {
-      // Nothing in flight: a yield here means the strategy is done, and an
-      // exhausted committed budget closes admission for good.
-      if (yielded || committed_exhausted()) break;
+      // Nothing in flight: a yield here means the strategy is done, an
+      // exhausted committed budget closes admission for good, and a
+      // cancelled session has finished draining.
+      if (yielded || committed_exhausted() || ctx_->cancelled()) break;
       continue;
     }
     deliver(strategy);
   }
 
   strategy.finish();
+
+  if (cancelled_run_ && ctx_->tracing()) {
+    ctx_->trace_event(TraceEvent("cancelled", ctx_->budget().spent())
+                          .with("drained", drained));
+  }
 
   if (ctx_->tracing()) {
     ctx_->trace_event(

@@ -41,7 +41,13 @@ class EvalScheduler {
 
   /// Drives the strategy to completion: begin, fill/deliver until the
   /// strategy stops proposing or the committed budget is exhausted and the
-  /// window has drained, then finish.
+  /// window has drained, then finish. When the context carries armed replay
+  /// records, the first evaluations are answered from the journal instead
+  /// of being measured (same commits, same tells — a resumed session
+  /// re-traverses the journaled prefix bit-identically, then continues
+  /// live). When the context's CancellationToken fires, admission closes,
+  /// the in-flight window drains (their results are committed — measured
+  /// work is never thrown away), and run() returns early.
   void run(SearchStrategy& strategy);
 
   // Window statistics for the last run (the "window" trace event and the
@@ -49,6 +55,8 @@ class EvalScheduler {
   std::int64_t dispatched() const { return dispatched_; }
   std::size_t max_inflight() const { return max_inflight_; }
   double avg_inflight() const;
+  /// True when the last run stopped on cancellation (not budget/strategy).
+  bool cancelled_run() const { return cancelled_run_; }
 
  private:
   struct InFlight {
@@ -62,6 +70,9 @@ class EvalScheduler {
     std::uint64_t tag;
     std::string phase;
     Configuration config;
+    /// True when this proposal's result is answered from the journal
+    /// (resume replay) instead of being measured.
+    bool replay = false;
     /// Valid when a pool dispatched the measurement; otherwise the
     /// evaluation runs inline at delivery time (same trajectory either
     /// way — see the determinism contract in strategy.hpp).
@@ -79,6 +90,11 @@ class EvalScheduler {
   StrategyContext strategy_ctx_;
   std::deque<InFlight> window_;
   std::uint64_t next_id_ = 0;
+  /// ResultDb rows that existed when run() started; proposal id i commits
+  /// as row db_base_ + i, which is how dispatch maps ids onto journal
+  /// replay positions.
+  std::size_t db_base_ = 0;
+  bool cancelled_run_ = false;
 
   SimTime committed_spent_;
   std::int64_t committed_evals_ = 0;

@@ -18,12 +18,44 @@ TuningOutcome TuningSession::run(Tuner& tuner) {
 }
 
 TuningOutcome TuningSession::run(SearchStrategy& strategy) {
+  return run_internal(strategy, options_.journal, /*resuming=*/false);
+}
+
+TuningOutcome TuningSession::resume(SessionJournal& journal,
+                                    SearchStrategy& strategy) {
+  return run_internal(strategy, &journal, /*resuming=*/true);
+}
+
+JournalMeta TuningSession::journal_meta(const std::string& tuner_name) const {
+  const SearchSpace space(FlagHierarchy::hotspot());
+  JournalMeta meta;
+  meta.version = SessionJournal::kVersion;
+  meta.kind = "single";
+  meta.workload = workload_.name;
+  meta.tuner = tuner_name;
+  meta.seed = options_.seed;
+  meta.budget = options_.budget;
+  meta.repetitions = options_.repetitions;
+  meta.inflight = options_.inflight;
+  meta.eval_threads = options_.eval_threads;
+  meta.per_run_overhead_s = options_.per_run_overhead_s;
+  meta.racing_factor = options_.racing_factor;
+  meta.space_fingerprint = space_fingerprint(space.registry());
+  meta.resilient = options_.resilient;
+  meta.fault_fingerprint = fault_options_fingerprint(options_.fault_injection);
+  return meta;
+}
+
+TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
+                                          SessionJournal* journal,
+                                          bool resuming) {
   RunnerOptions runner_options;
   runner_options.repetitions = options_.repetitions;
   runner_options.seed = options_.seed;
   runner_options.per_run_overhead_s = options_.per_run_overhead_s;
   runner_options.racing_factor = options_.racing_factor;
   BenchmarkRunner runner(*simulator_, workload_, runner_options);
+  runner.set_cancellation(options_.cancel);
 
   // The evaluation chain the tuner searches against: runner, optionally a
   // fault injector (hostile-harness experiments), optionally the
@@ -39,6 +71,7 @@ TuningOutcome TuningSession::run(SearchStrategy& strategy) {
   if (options_.resilient) {
     resilient =
         std::make_unique<ResilientEvaluator>(*evaluator, options_.resilience);
+    resilient->set_cancellation(options_.cancel);
     evaluator = resilient.get();
   }
 
@@ -66,17 +99,64 @@ TuningOutcome TuningSession::run(SearchStrategy& strategy) {
                     .with("seed", static_cast<std::int64_t>(options_.seed))
                     .with("eval_threads",
                           static_cast<std::int64_t>(options_.eval_threads))
-                    .with("resilient", options_.resilient));
+                    .with("resilient", options_.resilient)
+                    .with("resumed", resuming));
+  }
+
+  // Durability: pin (fresh journal) or validate (resume) the session
+  // metadata before anything is measured. Everything a bit-identical replay
+  // depends on is checked here; a mismatch is a structured JournalError,
+  // not a silent divergence half a budget later.
+  if (journal != nullptr) {
+    const JournalMeta meta = journal_meta(strategy.name());
+    if (resuming) {
+      validate_resume_meta(journal->meta(), meta);
+    } else if (journal->has_meta()) {
+      throw JournalError("journal '" + journal->path() +
+                         "' already holds a session; use resume()");
+    } else {
+      journal->write_meta(meta);
+    }
+    if (trace != nullptr) {
+      trace->emit(
+          TraceEvent("journal_open")
+              .with("path", journal->path())
+              .with("mode", resuming ? std::string("resume")
+                                     : std::string("fresh"))
+              .with("records",
+                    static_cast<std::int64_t>(journal->committed().size()))
+              .with("dropped",
+                    static_cast<std::int64_t>(journal->dropped_records())));
+    }
   }
 
   Rng rng(mix64(options_.seed, fnv1a64(strategy.name())));
   TuningContext ctx(*evaluator, budget, *db, space, rng, pool.get(), trace);
+  ctx.set_journal(journal);
+  ctx.set_cancellation(options_.cancel);
+  if (resuming) {
+    ctx.set_replay(&journal->committed());
+    // Seed downstream state the journal's committed measurements determine:
+    // the runner's result cache (so a configuration proposed again after
+    // the replayed prefix costs a cache hit, exactly as in the
+    // uninterrupted run) and the resilience layer's quarantine/breaker
+    // bookkeeping. The runner cache can only be seeded when measurements
+    // flow straight from the runner (no injector/resilience rewriting
+    // them); see DESIGN.md for the divergence caveats.
+    for (const JournalEval& rec : journal->committed()) {
+      if (!injector && !resilient) runner.seed_cache(rec.to_measurement());
+      if (resilient) resilient->replay_outcome(rec.to_measurement());
+    }
+  }
 
   // Baseline: the default configuration, charged to the same budget —
   // the paper's harness measures it as its first candidate too.
   ctx.set_phase("default");
   const Configuration defaults(space.registry());
-  const double default_ms = ctx.evaluate(defaults);
+  const bool base_replayed = ctx.replaying();
+  const TuningContext::MeasuredEval base =
+      base_replayed ? ctx.replay_next(defaults) : ctx.measure_only(defaults);
+  const double default_ms = ctx.commit(defaults, base, base_replayed);
   if (trace != nullptr) {
     trace->emit(TraceEvent("baseline", budget.spent())
                     .with("objective_ms", default_ms));
@@ -94,6 +174,21 @@ TuningOutcome TuningSession::run(SearchStrategy& strategy) {
 
   EvalScheduler scheduler(ctx, SchedulerOptions{options_.inflight});
   scheduler.run(strategy);
+
+  if (resuming) {
+    if (trace != nullptr) {
+      trace->emit(
+          TraceEvent("journal_replay", budget.spent())
+              .with("replayed", static_cast<std::int64_t>(ctx.replay_cursor()))
+              .with("total", static_cast<std::int64_t>(ctx.replay_total())));
+    }
+    if (ctx.replaying()) {
+      log_warn() << "journal " << journal->path() << ": "
+                 << (ctx.replay_total() - ctx.replay_cursor())
+                 << " committed record(s) were not re-proposed by the "
+                    "strategy — wrong journal or changed code?";
+    }
+  }
 
   // Validation pass: re-measure the incumbent (and the baseline) with fresh
   // seeds and more repetitions. Reporting the *search* minimum would suffer
@@ -137,7 +232,23 @@ TuningOutcome TuningSession::run(SearchStrategy& strategy) {
                         .cache_hits = runner.cache_hits(),
                         .budget_spent = budget.spent(),
                         .fault_stats = fault_stats,
-                        .db = db};
+                        .db = db,
+                        .cancelled = scheduler.cancelled_run()};
+
+  if (journal != nullptr) {
+    // A cancelled session is incomplete by design: leave the journal open
+    // (no end record) so it can be resumed to run out the budget.
+    if (!outcome.cancelled) {
+      journal->append_end(outcome.best_config.fingerprint(), outcome.best_ms,
+                          outcome.default_ms, outcome.evaluations);
+    }
+    journal->flush();
+    if (trace != nullptr) {
+      trace->emit(TraceEvent("journal_flush", budget.spent())
+                      .with("records", static_cast<std::int64_t>(
+                                           journal->records_written())));
+    }
+  }
 
   if (trace != nullptr) {
     trace->metrics().set_gauge("session.default_ms", outcome.default_ms);

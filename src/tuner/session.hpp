@@ -13,7 +13,9 @@
 #include <string>
 
 #include "harness/fault.hpp"
+#include "harness/journal.hpp"
 #include "harness/resilient.hpp"
+#include "support/cancellation.hpp"
 #include "support/trace.hpp"
 #include "jvmsim/engine.hpp"
 #include "tuner/algorithms.hpp"
@@ -56,6 +58,17 @@ struct SessionOptions {
   /// which tools/trace_report reconstructs convergence curves and
   /// per-phase budget attribution. Null disables tracing at zero cost.
   TraceSink* trace = nullptr;
+  /// Write-ahead evaluation journal (see harness/journal.hpp): when set,
+  /// every committed evaluation is made durable before it is applied, so
+  /// a killed session resumes bit-identically via TuningSession::resume.
+  /// Null disables journaling. The journal must be fresh (create());
+  /// resume() takes its journal explicitly.
+  SessionJournal* journal = nullptr;
+  /// Cooperative cancellation: when set and cancelled (e.g. from a SIGINT
+  /// handler), the scheduler closes admission, drains and commits the
+  /// evaluations already in flight, and the session returns its outcome
+  /// early with TuningOutcome::cancelled set. Null disables cancellation.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct TuningOutcome {
@@ -88,6 +101,9 @@ struct TuningOutcome {
   /// retry/quarantine/breaker activity (each layer counts its own events).
   FaultStats fault_stats;
   std::shared_ptr<ResultDb> db;  ///< full evaluation log (trajectories)
+  /// True when the session stopped on cooperative cancellation rather than
+  /// budget exhaustion; the outcome still reflects everything committed.
+  bool cancelled = false;
 };
 
 class TuningSession {
@@ -100,13 +116,30 @@ class TuningSession {
   /// options and any eval_threads (see the contract in tuner/strategy.hpp).
   TuningOutcome run(SearchStrategy& strategy);
   /// Legacy entry point: wraps the tuner in a LegacyTunerAdapter. Only as
-  /// deterministic as the tune() loop itself.
+  /// deterministic as the tune() loop itself — resume is not supported for
+  /// legacy tuners (their proposal order is not reproducible).
   TuningOutcome run(Tuner& tuner);
+
+  /// Resumes a journaled session: validates the journal's metadata against
+  /// this session's options (throwing a field-level JournalError on any
+  /// mismatch), replays the committed evaluations through the strategy in
+  /// commit order — rebuilding its state and the budget clock exactly —
+  /// and continues live from where the journal stops. The final outcome is
+  /// bit-identical to the uninterrupted run's. New evaluations are appended
+  /// to the same journal.
+  TuningOutcome resume(SessionJournal& journal, SearchStrategy& strategy);
+
+  /// The metadata record this session would journal (also what resume
+  /// validates against).
+  JournalMeta journal_meta(const std::string& tuner_name) const;
 
   const SessionOptions& session_options() const { return options_; }
   const WorkloadSpec& workload() const { return workload_; }
 
  private:
+  TuningOutcome run_internal(SearchStrategy& strategy, SessionJournal* journal,
+                             bool resuming);
+
   const JvmSimulator* simulator_;
   WorkloadSpec workload_;
   SessionOptions options_;

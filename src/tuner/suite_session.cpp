@@ -35,6 +35,10 @@ SuiteRunner::SuiteRunner(const JvmSimulator& simulator,
   }
 }
 
+void SuiteRunner::set_cancellation(const CancellationToken* token) {
+  for (auto& runner : runners_) runner->set_cancellation(token);
+}
+
 std::vector<double> SuiteRunner::measure_each(const Configuration& config,
                                               BudgetClock* budget) {
   std::vector<double> out;
@@ -77,11 +81,47 @@ SuiteOutcome SuiteTuningSession::run(Tuner& tuner) {
 }
 
 SuiteOutcome SuiteTuningSession::run(SearchStrategy& strategy) {
+  return run_internal(strategy, options_.journal, /*resuming=*/false);
+}
+
+SuiteOutcome SuiteTuningSession::resume(SessionJournal& journal,
+                                        SearchStrategy& strategy) {
+  return run_internal(strategy, &journal, /*resuming=*/true);
+}
+
+JournalMeta SuiteTuningSession::journal_meta(
+    const std::string& tuner_name) const {
+  const SearchSpace space(FlagHierarchy::hotspot());
+  JournalMeta meta;
+  meta.version = SessionJournal::kVersion;
+  meta.kind = "suite";
+  for (const WorkloadSpec& workload : workloads_) {
+    if (!meta.workload.empty()) meta.workload += ',';
+    meta.workload += workload.name;
+  }
+  meta.tuner = tuner_name;
+  meta.seed = options_.seed;
+  meta.budget = options_.budget;
+  meta.repetitions = options_.repetitions;
+  meta.inflight = options_.inflight;
+  meta.eval_threads = options_.eval_threads;
+  meta.per_run_overhead_s = options_.per_run_overhead_s;
+  meta.racing_factor = 0.0;  // the suite runner does not race
+  meta.space_fingerprint = space_fingerprint(space.registry());
+  meta.resilient = false;
+  meta.fault_fingerprint = 0;
+  return meta;
+}
+
+SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
+                                              SessionJournal* journal,
+                                              bool resuming) {
   RunnerOptions runner_options;
   runner_options.repetitions = options_.repetitions;
   runner_options.seed = options_.seed;
   runner_options.per_run_overhead_s = options_.per_run_overhead_s;
   SuiteRunner runner(*simulator_, workloads_, runner_options);
+  runner.set_cancellation(options_.cancel);
 
   BudgetClock budget(options_.budget);
   auto db = std::make_shared<ResultDb>();
@@ -91,15 +131,40 @@ SuiteOutcome SuiteTuningSession::run(SearchStrategy& strategy) {
     pool = std::make_unique<ThreadPool>(options_.eval_threads);
   }
 
+  if (journal != nullptr) {
+    const JournalMeta meta = journal_meta(strategy.name());
+    if (resuming) {
+      validate_resume_meta(journal->meta(), meta);
+    } else if (journal->has_meta()) {
+      throw JournalError("journal '" + journal->path() +
+                         "' already holds a session; use resume()");
+    } else {
+      journal->write_meta(meta);
+    }
+  }
+
   Rng rng(mix64(options_.seed, fnv1a64("suite:" + strategy.name())));
   TuningContext ctx(runner, budget, *db, space, rng, pool.get());
+  ctx.set_journal(journal);
+  ctx.set_cancellation(options_.cancel);
+  if (resuming) ctx.set_replay(&journal->committed());
 
   ctx.set_phase("default");
   const Configuration defaults(space.registry());
-  ctx.evaluate(defaults);  // score 1000 by construction
+  const bool base_replayed = ctx.replaying();
+  const TuningContext::MeasuredEval base =
+      base_replayed ? ctx.replay_next(defaults) : ctx.measure_only(defaults);
+  ctx.commit(defaults, base, base_replayed);  // score 1000 by construction
 
   EvalScheduler scheduler(ctx, SchedulerOptions{options_.inflight});
   scheduler.run(strategy);
+
+  if (resuming && ctx.replaying()) {
+    log_warn() << "journal " << journal->path() << ": "
+               << (ctx.replay_total() - ctx.replay_cursor())
+               << " committed record(s) were not re-proposed by the "
+                  "strategy — wrong journal or changed code?";
+  }
 
   // Validation pass with fresh seeds.
   RunnerOptions validation_options = runner_options;
@@ -117,7 +182,8 @@ SuiteOutcome SuiteTuningSession::run(SearchStrategy& strategy) {
                        .workload_names = {},
                        .evaluations = static_cast<std::int64_t>(db->size()),
                        .budget_spent = budget.spent(),
-                       .db = db};
+                       .db = db,
+                       .cancelled = scheduler.cancelled_run()};
 
   double log_sum = 0;
   bool any_crash = false;
@@ -147,6 +213,15 @@ SuiteOutcome SuiteTuningSession::run(SearchStrategy& strategy) {
       std::fill(outcome.per_workload_improvement.begin(),
                 outcome.per_workload_improvement.end(), 0.0);
     }
+  }
+
+  if (journal != nullptr) {
+    if (!outcome.cancelled) {
+      journal->append_end(outcome.best_config.fingerprint(),
+                          outcome.geomean_ratio * 1000.0, 1000.0,
+                          outcome.evaluations);
+    }
+    journal->flush();
   }
 
   log_info() << "suite tuning with " << strategy.name() << ": geomean improvement "

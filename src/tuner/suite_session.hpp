@@ -29,6 +29,10 @@ class SuiteRunner : public Evaluator {
 
   Measurement measure(const Configuration& config, BudgetClock* budget) override;
 
+  /// Forwards a cancellation token to every member runner (see
+  /// BenchmarkRunner::set_cancellation).
+  void set_cancellation(const CancellationToken* token);
+
   /// Per-workload default objectives (ms), measured at construction.
   const std::vector<double>& default_times_ms() const { return default_ms_; }
 
@@ -60,6 +64,8 @@ struct SuiteOutcome {
   std::int64_t evaluations = 0;
   SimTime budget_spent;
   std::shared_ptr<ResultDb> db;
+  /// True when the session stopped on cooperative cancellation.
+  bool cancelled = false;
 };
 
 class SuiteTuningSession {
@@ -76,7 +82,21 @@ class SuiteTuningSession {
   /// Legacy entry point: wraps the tuner in a LegacyTunerAdapter.
   SuiteOutcome run(Tuner& tuner);
 
+  /// Resumes a journaled suite session (see TuningSession::resume). Member
+  /// runner caches cannot be reseeded from the journal (per-member times
+  /// are not journaled), so a configuration proposed *again* after the
+  /// replayed prefix is re-measured at full cost — see DESIGN.md for the
+  /// divergence caveat.
+  SuiteOutcome resume(SessionJournal& journal, SearchStrategy& strategy);
+
+  /// The metadata record this session would journal (kind "suite"; the
+  /// workload field is the member names joined with ",").
+  JournalMeta journal_meta(const std::string& tuner_name) const;
+
  private:
+  SuiteOutcome run_internal(SearchStrategy& strategy, SessionJournal* journal,
+                            bool resuming);
+
   const JvmSimulator* simulator_;
   std::vector<WorkloadSpec> workloads_;
   SessionOptions options_;

@@ -35,15 +35,17 @@ TuningContext::MeasuredEval TuningContext::measure_only(
   return MeasuredEval{std::move(measurement), meter.metered()};
 }
 
+std::string TuningContext::resolve_phase(const std::string& phase) const {
+  if (!phase.empty()) return phase;
+  std::lock_guard lock(mutex_);
+  return phase_;
+}
+
 double TuningContext::record(const Configuration& config,
                              const Measurement& m, const std::string& phase) {
   const double objective = m.objective();
   const std::uint64_t fingerprint = config.fingerprint();
-  std::string label = phase;
-  if (label.empty()) {
-    std::lock_guard lock(mutex_);
-    label = phase_;
-  }
+  const std::string label = resolve_phase(phase);
   db_->record(fingerprint, objective, budget_->spent(),
               config.render_command_line(), label, m.fault, m.crash_reason,
               m.attempts);
@@ -58,6 +60,38 @@ double TuningContext::record(const Configuration& config,
   }
   consider(config, fingerprint, objective, label);
   return objective;
+}
+
+double TuningContext::commit(const Configuration& config,
+                             const MeasuredEval& eval, bool replayed,
+                             const std::string& phase) {
+  const std::string label = resolve_phase(phase);
+  if (journal_ != nullptr && !replayed) {
+    // WAL order: the record is durable before the result mutates any state.
+    // A crash between the append and the apply merely replays it on resume.
+    journal_->append(make_journal_eval(static_cast<std::int64_t>(db_->size()),
+                                       config, eval.measurement, eval.cost,
+                                       budget_->spent(), label));
+  }
+  return record(config, eval.measurement, label);
+}
+
+TuningContext::MeasuredEval TuningContext::replay_next(
+    const Configuration& config) {
+  if (!replaying()) {
+    throw TunerError("TuningContext::replay_next: no replay record left");
+  }
+  const JournalEval& rec = (*replay_)[replay_cursor_];
+  if (rec.fingerprint != config.fingerprint()) {
+    throw JournalError(
+        "replay divergence at seq " + std::to_string(rec.seq) +
+        ": the journal recorded fingerprint " + fingerprint_hex(rec.fingerprint) +
+        " but the strategy proposed " + fingerprint_hex(config.fingerprint()) +
+        " (wrong journal, or the code changed since it was written)");
+  }
+  ++replay_cursor_;
+  budget_->charge(rec.cost);
+  return MeasuredEval{rec.to_measurement(), rec.cost};
 }
 
 double TuningContext::evaluate(const Configuration& config) {

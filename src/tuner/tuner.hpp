@@ -9,9 +9,11 @@
 
 #include "flags/configuration.hpp"
 #include "harness/budget.hpp"
+#include "harness/journal.hpp"
 #include "harness/result_db.hpp"
 #include "harness/evaluator.hpp"
 #include "harness/runner.hpp"
+#include "support/cancellation.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -94,9 +96,47 @@ class TuningContext {
   double record(const Configuration& config, const Measurement& measurement,
                 const std::string& phase = std::string());
 
+  /// Commits a completed evaluation: journals it (WAL order — the record is
+  /// durable before the result is applied), then record()s it. `replayed`
+  /// evaluations came *from* the journal and are not re-journaled. This is
+  /// the scheduler's commit point; record() remains for paths without a
+  /// journal.
+  double commit(const Configuration& config, const MeasuredEval& eval,
+                bool replayed, const std::string& phase = std::string());
+
+  // ---- durability & cancellation wiring (owned by the session) ----
+
+  void set_journal(SessionJournal* journal) { journal_ = journal; }
+  SessionJournal* journal() { return journal_; }
+
+  void set_cancellation(const CancellationToken* token) { cancel_ = token; }
+  const CancellationToken* cancellation() const { return cancel_; }
+  bool cancelled() const { return is_cancelled(cancel_); }
+
+  /// Arms replay: the next `records->size()` commits (in order) are answered
+  /// from the journal instead of being measured. The vector must outlive the
+  /// session run and never grow (SessionJournal::committed() is stable).
+  void set_replay(const std::vector<JournalEval>* records) {
+    replay_ = records;
+    replay_cursor_ = 0;
+  }
+  std::size_t replay_total() const {
+    return replay_ != nullptr ? replay_->size() : 0;
+  }
+  std::size_t replay_cursor() const { return replay_cursor_; }
+  bool replaying() const { return replay_cursor_ < replay_total(); }
+
+  /// Answers the next evaluation from the journal: charges the journaled
+  /// cost to the budget clock and returns the journaled measurement. Throws
+  /// JournalError if `config` is not the configuration the journal recorded
+  /// at this position (replay divergence: the strategy did not re-propose
+  /// the same trajectory, so the journal does not belong to this session).
+  MeasuredEval replay_next(const Configuration& config);
+
  private:
   void consider(const Configuration& config, std::uint64_t fingerprint,
                 double objective, const std::string& phase);
+  std::string resolve_phase(const std::string& phase) const;
 
   Evaluator* evaluator_;
   BudgetClock* budget_;
@@ -105,6 +145,10 @@ class TuningContext {
   Rng rng_;
   ThreadPool* pool_;
   TraceSink* trace_;
+  SessionJournal* journal_ = nullptr;
+  const CancellationToken* cancel_ = nullptr;
+  const std::vector<JournalEval>* replay_ = nullptr;
+  std::size_t replay_cursor_ = 0;
 
   mutable std::mutex mutex_;
   std::string phase_;

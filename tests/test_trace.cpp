@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <thread>
@@ -160,6 +161,62 @@ TEST(TraceSink, LoadRejectsMalformedInput) {
   EXPECT_THROW(TraceSink::load_jsonl(not_json), Error);
   std::istringstream unterminated("{\"type\":\"eval\",\"s\":\"never closed\n");
   EXPECT_THROW(TraceSink::load_jsonl(unterminated), Error);
+}
+
+TEST(TraceSink, LenientLoadDropsOnlyATornFinalLine) {
+  // A killed writer leaves a torn final record; the lenient loader keeps
+  // the valid prefix and reports what it dropped.
+  const std::string good =
+      "{\"type\":\"eval\",\"t_s\":1,\"i\":0}\n"
+      "{\"type\":\"eval\",\"t_s\":2,\"i\":1}\n";
+  {
+    std::istringstream in(good + "{\"type\":\"eval\",\"t_s\":3,\"i\":");
+    std::string warning;
+    const auto loaded = TraceSink::load_jsonl_lenient(in, &warning);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[1].get_int("i"), 1);
+    EXPECT_NE(warning.find("truncated"), std::string::npos);
+  }
+  {
+    // The strict loader still refuses the same input ...
+    std::istringstream in(good + "{\"type\":\"eval\",\"t_s\":3,\"i\":");
+    EXPECT_THROW(TraceSink::load_jsonl(in), Error);
+  }
+  {
+    // ... and corruption *before* the final line is not forgiven by the
+    // lenient one: silently skipping interior records would misreport the
+    // session.
+    std::istringstream in("garbage\n" + good);
+    EXPECT_THROW(TraceSink::load_jsonl_lenient(in), Error);
+  }
+  {
+    // A clean file loads without a warning.
+    std::istringstream in(good);
+    std::string warning;
+    const auto loaded = TraceSink::load_jsonl_lenient(in, &warning);
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_TRUE(warning.empty());
+  }
+}
+
+TEST(TraceSink, LenientFileLoadMatchesStreamBehaviour) {
+  const std::string path = ::testing::TempDir() + "/trace_torn.jsonl";
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\"type\":\"eval\",\"t_s\":1,\"i\":7}\n"
+      << "{\"type\":\"eval\",\"t_s\":2,\"i\":8}";  // no terminating newline...
+  out.close();
+  // ... but a complete record: a final line missing only its newline parses.
+  std::string warning;
+  auto loaded = TraceSink::load_jsonl_file_lenient(path, &warning);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(warning.empty());
+
+  std::ofstream torn(path, std::ios::app);
+  torn << "\n{\"type\":\"ev";
+  torn.close();
+  loaded = TraceSink::load_jsonl_file_lenient(path, &warning);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_FALSE(warning.empty());
 }
 
 // ---- schema validation -------------------------------------------------------

@@ -7,15 +7,19 @@
 //            --out tuned.flags --explain
 //   jat_tune --list
 //   jat_tune --suite dacapo --budget 2000 --tuner genetic --threads 8
-#include <cstdio>
-#include <exception>
 #include <cmath>
+#include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <exception>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "flags/parse.hpp"
+#include "harness/journal.hpp"
+#include "support/cancellation.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
@@ -27,6 +31,12 @@
 namespace {
 
 using namespace jat;
+
+/// SIGINT/SIGTERM land here: flip the (async-signal-safe) cancellation
+/// latch and let the session drain, flush, and report normally.
+CancellationToken g_cancel;
+
+extern "C" void handle_stop_signal(int) { g_cancel.cancel(); }
 
 void usage() {
   std::printf(
@@ -46,6 +56,15 @@ void usage() {
       "  --out FILE          write the tuned flags to FILE\n"
       "  --trace FILE        write a structured JSONL event trace to FILE\n"
       "                      (inspect with trace_report)\n"
+      "  --journal FILE      write-ahead evaluation journal: every committed\n"
+      "                      evaluation is durable before it is applied, so a\n"
+      "                      killed session resumes with --resume\n"
+      "  --resume FILE       resume a journaled session (workload, tuner,\n"
+      "                      budget, seed come from the journal; the outcome\n"
+      "                      is bit-identical to the uninterrupted run)\n"
+      "  --log FILE          write the full evaluation log as CSV\n"
+      "  --kill-after-evals N  raise SIGKILL after the Nth journal append\n"
+      "                      (deterministic crash injection for recovery tests)\n"
       "  --replay FILE       re-measure a saved .flags file on --workload\n"
       "  --racing            abandon clearly-losing candidates after 1 rep\n"
       "  --explain           leave-one-out analysis of the winning flags\n"
@@ -78,12 +97,22 @@ void list_workloads() {
 }
 
 int tune_one(const std::string& workload_name, const SessionOptions& options,
-             SearchStrategy& tuner, const std::string& out_path, bool explain) {
+             SearchStrategy& tuner, const std::string& out_path, bool explain,
+             SessionJournal* resume_journal, const std::string& log_path) {
   JvmSimulator simulator;
   const WorkloadSpec& workload = find_workload(workload_name);
   TuningSession session(simulator, workload, options);
-  const TuningOutcome outcome = session.run(tuner);
+  const TuningOutcome outcome = resume_journal != nullptr
+                                    ? session.resume(*resume_journal, tuner)
+                                    : session.run(tuner);
 
+  if (outcome.cancelled) {
+    std::printf("\ninterrupted: admission closed, in-flight evaluations "
+                "drained and committed; incumbent below%s\n",
+                options.journal != nullptr || resume_journal != nullptr
+                    ? " (resume with --resume to run out the budget)"
+                    : "");
+  }
   std::printf("\n%-22s %s\n", "workload", outcome.workload_name.c_str());
   std::printf("%-22s %s\n", "tuner", outcome.tuner_name.c_str());
   std::printf("%-22s %s ms -> %s ms  (%s, speedup %.2fx)\n", "validated result",
@@ -129,11 +158,22 @@ int tune_one(const std::string& workload_name, const SessionOptions& options,
       return 1;
     }
   }
+  if (!log_path.empty()) {
+    if (outcome.db->save_csv(log_path)) {
+      std::printf("evaluation log (%lld rows) written to %s\n",
+                  static_cast<long long>(outcome.evaluations),
+                  log_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", log_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
 int tune_suite(const std::string& suite_name, const SessionOptions& options,
-               SearchStrategy& tuner, const std::string& out_path) {
+               SearchStrategy& tuner, const std::string& out_path,
+               SessionJournal* resume_journal, const std::string& log_path) {
   std::vector<WorkloadSpec> suite;
   if (suite_name == "specjvm2008") {
     suite = specjvm2008_startup();
@@ -145,8 +185,14 @@ int tune_suite(const std::string& suite_name, const SessionOptions& options,
   }
   JvmSimulator simulator;
   SuiteTuningSession session(simulator, suite, options);
-  const SuiteOutcome outcome = session.run(tuner);
+  const SuiteOutcome outcome = resume_journal != nullptr
+                                   ? session.resume(*resume_journal, tuner)
+                                   : session.run(tuner);
 
+  if (outcome.cancelled) {
+    std::printf("\ninterrupted: admission closed, in-flight evaluations "
+                "drained and committed; incumbent below\n");
+  }
   std::printf("\ngeneral configuration for %s (geomean improvement %s):\n",
               suite_name.c_str(),
               format_percent(outcome.improvement_frac()).c_str());
@@ -161,7 +207,27 @@ int tune_suite(const std::string& suite_name, const SessionOptions& options,
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
+  if (!log_path.empty() && !outcome.db->save_csv(log_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", log_path.c_str());
+    return 1;
+  }
   return 0;
+}
+
+/// Matches a journaled suite metadata record (member names joined with ",")
+/// back to a named suite.
+std::string suite_name_for(const std::string& joined) {
+  const auto join = [](const std::vector<WorkloadSpec>& suite) {
+    std::string out;
+    for (const WorkloadSpec& w : suite) {
+      if (!out.empty()) out += ',';
+      out += w.name;
+    }
+    return out;
+  };
+  if (join(specjvm2008_startup()) == joined) return "specjvm2008";
+  if (join(dacapo()) == joined) return "dacapo";
+  return "";
 }
 
 }  // namespace
@@ -173,9 +239,14 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string replay_path;
   std::string trace_path;
+  std::string journal_path;
+  std::string resume_path;
+  std::string log_path;
+  JournalOptions journal_options;
   SessionOptions options;
   TraceSink trace_sink;
   bool explain = false;
+  bool threads_set = false;
   set_log_level(LogLevel::kWarn);
 
   for (int i = 1; i < argc; ++i) {
@@ -201,6 +272,7 @@ int main(int argc, char** argv) {
       options.repetitions = std::atoi(next());
     } else if (arg == "--threads" || arg == "--eval-threads") {
       options.eval_threads = static_cast<std::size_t>(std::atoi(next()));
+      threads_set = true;
     } else if (arg == "--inflight") {
       options.inflight = static_cast<std::size_t>(std::atoi(next()));
     } else if (arg == "--out") {
@@ -208,6 +280,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace") {
       trace_path = next();
       options.trace = &trace_sink;
+    } else if (arg == "--journal") {
+      journal_path = next();
+    } else if (arg == "--resume") {
+      resume_path = next();
+    } else if (arg == "--log") {
+      log_path = next();
+    } else if (arg == "--kill-after-evals") {
+      journal_options.crash_after_appends = std::atoi(next());
     } else if (arg == "--racing") {
       options.racing_factor = 1.3;
     } else if (arg == "--replay") {
@@ -255,19 +335,75 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (workload.empty() && suite.empty()) {
+  if (workload.empty() && suite.empty() && resume_path.empty()) {
     usage();
     return 1;
   }
-  auto tuner = make_tuner(tuner_name);
-  if (tuner == nullptr) {
-    std::fprintf(stderr, "error: unknown tuner '%s'\n", tuner_name.c_str());
+  if (!resume_path.empty() && !journal_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume appends to the resumed journal; do not also "
+                 "pass --journal\n");
     return 1;
   }
+
+  // Graceful interruption: Ctrl-C / SIGTERM close admission, drain the
+  // in-flight evaluations, flush journal and trace, and print the incumbent.
+  options.cancel = &g_cancel;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
   try {
-    const int rc = !suite.empty()
-                       ? tune_suite(suite, options, *tuner, out_path)
-                       : tune_one(workload, options, *tuner, out_path, explain);
+    std::optional<SessionJournal> journal;
+    SessionJournal* resume_journal = nullptr;
+    if (!resume_path.empty()) {
+      journal.emplace(SessionJournal::resume(resume_path, journal_options));
+      resume_journal = &*journal;
+      // Everything a bit-identical replay depends on comes from the journal;
+      // only eval_threads (wall-clock parallelism, not trajectory) may be
+      // overridden from the command line.
+      const JournalMeta& meta = journal->meta();
+      tuner_name = meta.tuner;
+      options.budget = meta.budget;
+      options.seed = meta.seed;
+      options.repetitions = meta.repetitions;
+      options.inflight = meta.inflight;
+      options.per_run_overhead_s = meta.per_run_overhead_s;
+      options.racing_factor = meta.racing_factor;
+      if (!threads_set) options.eval_threads = meta.eval_threads;
+      if (meta.kind == "suite") {
+        suite = suite_name_for(meta.workload);
+        workload.clear();
+        if (suite.empty()) {
+          std::fprintf(stderr, "error: journal %s tunes unknown suite '%s'\n",
+                       resume_path.c_str(), meta.workload.c_str());
+          return 1;
+        }
+      } else {
+        workload = meta.workload;
+        suite.clear();
+      }
+      std::printf("resuming %s session on %s with %s (%zu committed "
+                  "evaluations%s)\n",
+                  meta.kind.c_str(), meta.workload.c_str(), meta.tuner.c_str(),
+                  journal->committed().size(),
+                  journal->ended() ? "; journaled run had completed" : "");
+    } else if (!journal_path.empty()) {
+      journal.emplace(SessionJournal::create(journal_path, journal_options));
+      options.journal = &*journal;
+    }
+
+    auto tuner = make_tuner(tuner_name);
+    if (tuner == nullptr) {
+      std::fprintf(stderr, "error: unknown tuner '%s'\n", tuner_name.c_str());
+      return 1;
+    }
+
+    const int rc =
+        !suite.empty()
+            ? tune_suite(suite, options, *tuner, out_path, resume_journal,
+                         log_path)
+            : tune_one(workload, options, *tuner, out_path, explain,
+                       resume_journal, log_path);
     if (!trace_path.empty()) {
       if (trace_sink.save_jsonl(trace_path)) {
         std::printf("trace (%zu events) written to %s\n", trace_sink.size(),

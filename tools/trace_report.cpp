@@ -68,7 +68,14 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto events = jat::TraceSink::load_jsonl_file(path);
+    // Lenient load: a trace from a crashed or killed writer may end in a
+    // torn final record — drop it with a warning instead of refusing the
+    // whole file.
+    std::string warning;
+    const auto events = jat::TraceSink::load_jsonl_file_lenient(path, &warning);
+    if (!warning.empty()) {
+      std::fprintf(stderr, "warning: %s: %s\n", path.c_str(), warning.c_str());
+    }
     if (validate) {
       for (std::size_t i = 0; i < events.size(); ++i) {
         const std::string problem = jat::validate_trace_event(events[i]);
