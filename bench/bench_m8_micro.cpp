@@ -9,6 +9,8 @@
 
 #include "bench_common.hpp"
 #include "flags/validate.hpp"
+#include "harness/runner.hpp"
+#include "harness/sandbox.hpp"
 #include "jvmsim/engine.hpp"
 #include "tuner/algorithms.hpp"
 #include "tuner/search_space.hpp"
@@ -181,6 +183,44 @@ BENCHMARK(BM_JournalReplayLoad)
     ->Arg(100)->Arg(1000)
     ->ArgName("records")
     ->Unit(benchmark::kMicrosecond);
+
+void BM_SandboxRoundTrip(benchmark::State& state) {
+  // Wire-protocol tax per sandboxed measurement: encode request, worker
+  // pipe round trip, decode reply. The measured fingerprint is already in
+  // the worker's cache, so the simulator cost is excluded and what remains
+  // is the out-of-process overhead itself (compare BM_SandboxCachedDirect).
+  JvmSimulator sim;
+  const WorkloadSpec& w = find_workload("startup.compress");
+  BenchmarkRunner runner(sim, w);
+  const SearchSpace space(FlagHierarchy::hotspot());
+  SandboxOptions options;
+  options.workers = 1;
+  SandboxedEvaluator sandbox(runner, space.registry(), options);
+  sandbox.link_runner(&runner);
+  const Configuration config(FlagRegistry::hotspot());
+  sandbox.measure(config, nullptr);  // warm the worker's cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sandbox.measure(config, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+  sandbox.shutdown();
+}
+BENCHMARK(BM_SandboxRoundTrip)->UseRealTime();
+
+void BM_SandboxCachedDirect(benchmark::State& state) {
+  // The in-process floor for BM_SandboxRoundTrip: the same cached
+  // measurement without the fork/pipe layer.
+  JvmSimulator sim;
+  const WorkloadSpec& w = find_workload("startup.compress");
+  BenchmarkRunner runner(sim, w);
+  const Configuration config(FlagRegistry::hotspot());
+  runner.measure(config, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.measure(config, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SandboxCachedDirect);
 
 void BM_ActiveFlags(benchmark::State& state) {
   const FlagHierarchy& h = FlagHierarchy::hotspot();

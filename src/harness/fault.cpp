@@ -11,6 +11,7 @@ FaultStats& FaultStats::operator+=(const FaultStats& other) {
   transient += other.transient;
   deterministic += other.deterministic;
   timeouts += other.timeouts;
+  crashes += other.crashes;
   retries += other.retries;
   retry_successes += other.retry_successes;
   quarantined += other.quarantined;
@@ -35,6 +36,7 @@ std::string FaultStats::to_string() const {
   add("transient", transient);
   add("deterministic", deterministic);
   add("timeouts", timeouts);
+  add("crashes", crashes);
   add("retries", retries);
   add("retry_successes", retry_successes);
   add("quarantined", quarantined);
@@ -53,6 +55,7 @@ void count_fault(FaultStats& stats, FaultClass fault) {
     case FaultClass::kTransient: ++stats.transient; break;
     case FaultClass::kDeterministic: ++stats.deterministic; break;
     case FaultClass::kTimeout: ++stats.timeouts; break;
+    case FaultClass::kCrash: ++stats.crashes; break;
     case FaultClass::kQuarantined: ++stats.quarantine_hits; break;
     case FaultClass::kNone: break;
   }

@@ -27,6 +27,7 @@ struct FaultStats {
   std::int64_t transient = 0;       ///< transient (flake) failures
   std::int64_t deterministic = 0;   ///< config-caused crashes
   std::int64_t timeouts = 0;        ///< hangs cut off at the time limit
+  std::int64_t crashes = 0;         ///< evaluating processes that died
   std::int64_t retries = 0;         ///< retry attempts issued
   std::int64_t retry_successes = 0; ///< measurements recovered by a retry
   std::int64_t quarantined = 0;     ///< configs blacklisted so far
@@ -37,7 +38,9 @@ struct FaultStats {
   std::int64_t latency_spikes = 0;  ///< injected slow-but-valid results
   std::int64_t hang_cancelled = 0;  ///< hangs cut off by the resilience deadline
 
-  std::int64_t failures() const { return transient + deterministic + timeouts; }
+  std::int64_t failures() const {
+    return transient + deterministic + timeouts + crashes;
+  }
   FaultStats& operator+=(const FaultStats& other);
   /// Compact "transient=3 retried=2 ..." rendering of the non-zero counters.
   std::string to_string() const;

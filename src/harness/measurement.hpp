@@ -22,6 +22,7 @@ enum class FaultClass {
   kTransient,      ///< infrastructure flake; retrying may succeed
   kDeterministic,  ///< caused by the configuration; retrying is pointless
   kTimeout,        ///< run exceeded the harness time limit (hang)
+  kCrash,          ///< the evaluating process died (signal or bad exit)
   kQuarantined,    ///< answered from the quarantine list without running
 };
 
@@ -31,6 +32,7 @@ constexpr const char* to_string(FaultClass fault) {
     case FaultClass::kTransient: return "transient";
     case FaultClass::kDeterministic: return "deterministic";
     case FaultClass::kTimeout: return "timeout";
+    case FaultClass::kCrash: return "crash";
     case FaultClass::kQuarantined: return "quarantined";
   }
   return "none";
@@ -42,6 +44,7 @@ constexpr FaultClass fault_class_from_string(std::string_view name) {
   if (name == "transient") return FaultClass::kTransient;
   if (name == "deterministic") return FaultClass::kDeterministic;
   if (name == "timeout") return FaultClass::kTimeout;
+  if (name == "crash") return FaultClass::kCrash;
   if (name == "quarantined") return FaultClass::kQuarantined;
   return FaultClass::kNone;
 }

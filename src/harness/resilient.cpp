@@ -156,7 +156,7 @@ Measurement ResilientEvaluator::measure(const Configuration& config,
       records_.erase(fingerprint);
     } else {
       if (m.fault == FaultClass::kDeterministic ||
-          m.fault == FaultClass::kTimeout) {
+          m.fault == FaultClass::kTimeout || m.fault == FaultClass::kCrash) {
         CrashRecord& record = records_[fingerprint];
         record.reason = m.crash_reason;
         if (!record.quarantined &&
@@ -209,7 +209,8 @@ void ResilientEvaluator::replay_outcome(const Measurement& m) {
     records_.erase(m.config_fingerprint);
     return;
   }
-  if (m.fault == FaultClass::kDeterministic || m.fault == FaultClass::kTimeout) {
+  if (m.fault == FaultClass::kDeterministic ||
+      m.fault == FaultClass::kTimeout || m.fault == FaultClass::kCrash) {
     CrashRecord& record = records_[m.config_fingerprint];
     record.reason = m.crash_reason;
     if (!record.quarantined &&

@@ -30,9 +30,10 @@ struct ResilienceOptions {
   /// timeouts fail on every attempt, so retrying them burns budget for
   /// nothing.
   int max_attempts = 3;
-  /// Hard (deterministic / timeout) failures of one fingerprint before it
-  /// is quarantined: later measurements are answered instantly from the
-  /// blacklist instead of re-running a config known to crash the JVM.
+  /// Hard (deterministic / timeout / process-crash) failures of one
+  /// fingerprint before it is quarantined: later measurements are answered
+  /// instantly from the blacklist instead of re-running a config known to
+  /// crash the JVM.
   int quarantine_threshold = 2;
   /// Consecutive failed measurements (across configurations) before the
   /// circuit breaker opens and retrying stops — when the whole harness is
@@ -83,7 +84,7 @@ class ResilientEvaluator : public Evaluator {
 
  private:
   struct CrashRecord {
-    int hard_failures = 0;  ///< deterministic/timeout failures seen
+    int hard_failures = 0;  ///< deterministic/timeout/crash failures seen
     bool quarantined = false;
     std::string reason;  ///< last hard-failure reason, kept for the answer
   };

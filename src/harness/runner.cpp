@@ -21,6 +21,15 @@ FaultStats BenchmarkRunner::stats() const {
   return stats_;
 }
 
+void BenchmarkRunner::merge_racing_floor_ms(double first_ms) {
+  if (first_ms <= 0.0) return;
+  double current = best_first_rep_ms_.load(std::memory_order_relaxed);
+  while ((current == 0.0 || first_ms < current) &&
+         !best_first_rep_ms_.compare_exchange_weak(current, first_ms,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
 void BenchmarkRunner::seed_cache(const Measurement& measurement) {
   std::lock_guard lock(mutex_);
   cache_.emplace(measurement.config_fingerprint, measurement);
@@ -69,6 +78,9 @@ Measurement BenchmarkRunner::measure(const Configuration& config,
     // charged — the simulator runs once per configuration.
     std::unique_lock wait_lock(flight->m);
     flight->cv.wait(wait_lock, [&] { return flight->done; });
+    // A leader that died with an exception produced no measurement; every
+    // waiter observes the same failure instead of a synthetic result.
+    if (flight->error) std::rethrow_exception(flight->error);
     {
       std::lock_guard lock(mutex_);
       ++cache_hits_;
@@ -84,19 +96,16 @@ Measurement BenchmarkRunner::measure(const Configuration& config,
   try {
     measurement = measure_uncached(config, budget);
   } catch (...) {
-    // Never leave followers waiting on a leader that died: publish a crash
-    // and re-throw.
-    measurement.config_fingerprint = fingerprint;
-    measurement.crashed = true;
-    measurement.crash_reason = "evaluator exception";
-    measurement.fault = FaultClass::kDeterministic;
+    // Never leave followers waiting on a leader that died: hand them the
+    // exception itself and re-throw. The fingerprint stays uncached, so a
+    // later call re-measures.
     {
       std::lock_guard lock(mutex_);
       in_flight_.erase(fingerprint);
     }
     {
       std::lock_guard done_lock(flight->m);
-      flight->result = measurement;
+      flight->error = std::current_exception();
       flight->done = true;
     }
     flight->cv.notify_all();
@@ -168,14 +177,11 @@ Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
       // Racing: abandon clear losers after their first repetition.
       if (rep == 0 && options_.racing_factor > 0.0) {
         const double first = run.total_time.as_millis();
-        std::lock_guard lock(mutex_);
-        if (best_first_rep_ms_ > 0.0 &&
-            first > best_first_rep_ms_ * options_.racing_factor) {
+        const double floor = best_first_rep_ms_.load(std::memory_order_relaxed);
+        if (floor > 0.0 && first > floor * options_.racing_factor) {
           break;
         }
-        if (best_first_rep_ms_ == 0.0 || first < best_first_rep_ms_) {
-          best_first_rep_ms_ = first;
-        }
+        merge_racing_floor_ms(first);
       }
     }
     // Keep the overshoot bounded by one run: once the budget expires

@@ -2,8 +2,10 @@
 // tuning budget, and caches by configuration fingerprint.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -79,6 +81,22 @@ class BenchmarkRunner : public Evaluator {
   /// still a valid (possibly fewer-rep) measurement.
   void set_cancellation(const CancellationToken* token) { cancel_ = token; }
 
+  /// The racing floor: best (lowest) first-repetition time seen so far in
+  /// ms, 0 until one exists. Exposed for the sandbox, which must carry the
+  /// floor across the process boundary: the parent sends its global floor
+  /// with each request and folds the worker's updated floor back in.
+  double racing_floor_ms() const {
+    return best_first_rep_ms_.load(std::memory_order_relaxed);
+  }
+  /// Lowers the floor to `first_ms` when it is positive and better than the
+  /// current one (lock-free CAS min; used when merging worker replies).
+  void merge_racing_floor_ms(double first_ms);
+  /// Overwrites the floor (sandbox worker side: the parent's merged floor
+  /// supersedes whatever this process last saw).
+  void set_racing_floor_ms(double first_ms) {
+    best_first_rep_ms_.store(first_ms, std::memory_order_relaxed);
+  }
+
   /// Seeds the result cache with a previously committed measurement (session
   /// resume): a replayed configuration that is proposed again after resume
   /// costs a cache hit, exactly as it would have in the uninterrupted run.
@@ -90,13 +108,15 @@ class BenchmarkRunner : public Evaluator {
   FaultStats stats() const;
 
  private:
-  /// A cache miss in progress: the leader publishes its result here and
-  /// wakes the followers waiting on the same fingerprint.
+  /// A cache miss in progress: the leader publishes its result — or the
+  /// exception that killed it — here and wakes the followers waiting on
+  /// the same fingerprint.
   struct InFlight {
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
     Measurement result;
+    std::exception_ptr error;  ///< set when the leader threw; followers rethrow
   };
 
   Measurement measure_uncached(const Configuration& config, BudgetClock* budget);
@@ -116,7 +136,10 @@ class BenchmarkRunner : public Evaluator {
   std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> in_flight_;
   std::int64_t runs_executed_ = 0;
   std::int64_t cache_hits_ = 0;
-  double best_first_rep_ms_ = 0.0;  ///< 0 until the first finite first rep
+  /// 0 until the first finite first rep. Atomic (not mutex_-guarded) so the
+  /// sandbox parent can merge worker floors while a respawn fork() is in
+  /// progress — a fork must never inherit a locked runner mutex.
+  std::atomic<double> best_first_rep_ms_{0.0};
   FaultStats stats_;
 };
 

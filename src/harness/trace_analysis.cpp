@@ -91,6 +91,14 @@ void reconstruct(SessionTrace& session) {
       session.drained = e.get_int("drained");
     } else if (e.type == "hang_deadline") {
       ++session.hang_cancelled;
+    } else if (e.type == "sandbox_spawn") {
+      ++session.sandbox_spawns;
+    } else if (e.type == "worker_respawn") {
+      ++session.sandbox_respawns;
+    } else if (e.type == "worker_exit") {
+      ++session.sandbox_deaths;
+    } else if (e.type == "sandbox_kill") {
+      ++session.sandbox_kills;
     } else if (e.type == "baseline") {
       session.baseline_ms = e.get_double("objective_ms");
     } else if (e.type == "validation") {
@@ -211,6 +219,18 @@ const std::vector<EventSpec>& schema() {
        {{"fingerprint", FieldKind::kString},
         {"deadline_s", FieldKind::kNumber},
         {"charged_s", FieldKind::kNumber}}},
+      {"sandbox_spawn",
+       {{"worker", FieldKind::kInt}, {"pid", FieldKind::kInt}}},
+      {"worker_exit",
+       {{"worker", FieldKind::kInt},
+        {"pid", FieldKind::kInt},
+        {"cause", FieldKind::kString}}},
+      {"worker_respawn",
+       {{"worker", FieldKind::kInt}, {"pid", FieldKind::kInt}}},
+      {"sandbox_kill",
+       {{"worker", FieldKind::kInt},
+        {"pid", FieldKind::kInt},
+        {"stage", FieldKind::kString}}},
       {"baseline", {{"objective_ms", FieldKind::kNumber}}},
       {"validation",
        {{"default_ms", FieldKind::kNumber},
@@ -315,6 +335,12 @@ std::string render_trace_report(const std::vector<SessionTrace>& sessions,
     if (session.cancelled) {
       out << "  cancelled: admission closed, " << session.drained
           << " in-flight evaluation(s) drained\n";
+    }
+    if (session.sandbox_spawns > 0) {
+      out << "  sandbox: " << session.sandbox_spawns << " worker(s) spawned, "
+          << session.sandbox_deaths << " died ("
+          << session.sandbox_respawns << " respawned), "
+          << session.sandbox_kills << " watchdog kill signal(s)\n";
     }
     if (session.dispatched > 0) {
       out << "  pipeline: " << session.dispatched << " dispatched, window cap "

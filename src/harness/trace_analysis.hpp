@@ -80,6 +80,13 @@ struct SessionTrace {
   std::int64_t drained = 0;          ///< in-flight evals drained on cancel
   std::int64_t hang_cancelled = 0;   ///< hang_deadline events
 
+  // Out-of-process sandbox counters (sandbox_* / worker_* events; zero for
+  // in-process sessions and traces predating the sandbox).
+  std::int64_t sandbox_spawns = 0;   ///< sandbox_spawn events (incl. respawns)
+  std::int64_t sandbox_respawns = 0; ///< worker_respawn events
+  std::int64_t sandbox_deaths = 0;   ///< worker_exit events (crash/hang/torn)
+  std::int64_t sandbox_kills = 0;    ///< sandbox_kill events (term + kill)
+
   // Session summary as emitted in validation / session_end events.
   double baseline_ms = 0.0;    ///< search-time default measurement
   double default_ms = 0.0;     ///< validated default

@@ -56,11 +56,22 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   runner_options.racing_factor = options_.racing_factor;
   BenchmarkRunner runner(*simulator_, workload_, runner_options);
   runner.set_cancellation(options_.cancel);
+  const SearchSpace space(FlagHierarchy::hotspot());
 
-  // The evaluation chain the tuner searches against: runner, optionally a
+  // The evaluation chain the tuner searches against: runner, optionally
+  // relocated into forked worker processes by the sandbox, optionally a
   // fault injector (hostile-harness experiments), optionally the
-  // retry/quarantine/circuit-breaker layer on top.
+  // retry/quarantine/circuit-breaker layer on top. The injector sits
+  // *above* the sandbox so injected (modelled) faults stay parent-side and
+  // deterministic, while the sandbox handles real process death below it.
   Evaluator* evaluator = &runner;
+  std::unique_ptr<SandboxedEvaluator> sandbox;
+  if (options_.sandbox) {
+    sandbox = std::make_unique<SandboxedEvaluator>(*evaluator, space.registry(),
+                                                   options_.sandbox_options);
+    sandbox->link_runner(&runner);
+    evaluator = sandbox.get();
+  }
   std::unique_ptr<FaultInjectingEvaluator> injector;
   if (options_.fault_injection.any()) {
     injector =
@@ -77,7 +88,6 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
 
   BudgetClock budget(options_.budget);
   auto db = std::make_shared<ResultDb>();
-  const SearchSpace space(FlagHierarchy::hotspot());
 
   std::unique_ptr<ThreadPool> pool;
   if (options_.eval_threads > 0) {
@@ -88,6 +98,7 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   // are null-guarded, so a disabled trace costs one branch per site.
   TraceSink* trace = options_.trace;
   runner.set_trace_sink(trace);
+  if (sandbox) sandbox->set_trace_sink(trace);
   if (resilient) resilient->set_trace_sink(trace);
   if (trace != nullptr) {
     trace->emit(TraceEvent("session_start")
@@ -190,6 +201,11 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
     }
   }
 
+  // The search is over: stop the worker pool before the (in-process)
+  // validation pass so its exits are accounted to the session, not torn
+  // down implicitly at scope exit.
+  if (sandbox) sandbox->shutdown();
+
   // Validation pass: re-measure the incumbent (and the baseline) with fresh
   // seeds and more repetitions. Reporting the *search* minimum would suffer
   // the winner's curse — the minimum over hundreds of noisy measurements is
@@ -218,7 +234,10 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
                     .with("accepted", winner_validated));
   }
 
+  // In sandbox mode the parent runner never measures: runs, cache hits,
+  // and rep-level fault counters arrive aggregated from worker replies.
   FaultStats fault_stats = runner.stats();
+  if (sandbox) fault_stats += sandbox->stats();
   if (injector) fault_stats += injector->stats();
   if (resilient) fault_stats += resilient->stats();
 
@@ -228,8 +247,10 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
                         .default_ms = validated_default,
                         .best_ms = validated_best,
                         .evaluations = static_cast<std::int64_t>(db->size()),
-                        .runs = runner.runs_executed(),
-                        .cache_hits = runner.cache_hits(),
+                        .runs = runner.runs_executed() +
+                                (sandbox ? sandbox->runs_executed() : 0),
+                        .cache_hits = runner.cache_hits() +
+                                      (sandbox ? sandbox->cache_hits() : 0),
                         .budget_spent = budget.spent(),
                         .fault_stats = fault_stats,
                         .db = db,

@@ -15,6 +15,7 @@
 #include "harness/fault.hpp"
 #include "harness/journal.hpp"
 #include "harness/resilient.hpp"
+#include "harness/sandbox.hpp"
 #include "support/cancellation.hpp"
 #include "support/trace.hpp"
 #include "jvmsim/engine.hpp"
@@ -53,6 +54,13 @@ struct SessionOptions {
   /// evaluator (see harness/resilient.hpp).
   bool resilient = false;
   ResilienceOptions resilience;
+  /// Execute measurements in forked worker processes (harness/sandbox.hpp):
+  /// a crashing or wedged evaluation kills its worker, never the session.
+  /// On a fault-free run the outcome is bit-identical to the in-process
+  /// path at fixed seed and window, so this is an execution detail like
+  /// eval_threads, not part of the search trajectory.
+  bool sandbox = false;
+  SandboxOptions sandbox_options;
   /// Structured tracing: when set, the session and every evaluation layer
   /// emit typed events (schema in EXPERIMENTS.md) into this sink, from
   /// which tools/trace_report reconstructs convergence curves and

@@ -126,6 +126,18 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
   BudgetClock budget(options_.budget);
   auto db = std::make_shared<ResultDb>();
   const SearchSpace space(FlagHierarchy::hotspot());
+
+  // Optional out-of-process execution: the whole SuiteRunner (its member
+  // runners, baselines, and time limits are already set up above, so the
+  // forked workers inherit them copy-on-write) moves into the worker pool.
+  Evaluator* evaluator = &runner;
+  std::unique_ptr<SandboxedEvaluator> sandbox;
+  if (options_.sandbox) {
+    sandbox = std::make_unique<SandboxedEvaluator>(runner, space.registry(),
+                                                   options_.sandbox_options);
+    evaluator = sandbox.get();
+  }
+
   std::unique_ptr<ThreadPool> pool;
   if (options_.eval_threads > 0) {
     pool = std::make_unique<ThreadPool>(options_.eval_threads);
@@ -144,7 +156,7 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
   }
 
   Rng rng(mix64(options_.seed, fnv1a64("suite:" + strategy.name())));
-  TuningContext ctx(runner, budget, *db, space, rng, pool.get());
+  TuningContext ctx(*evaluator, budget, *db, space, rng, pool.get());
   ctx.set_journal(journal);
   ctx.set_cancellation(options_.cancel);
   if (resuming) ctx.set_replay(&journal->committed());
@@ -165,6 +177,8 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
                << " committed record(s) were not re-proposed by the "
                   "strategy — wrong journal or changed code?";
   }
+
+  if (sandbox) sandbox->shutdown();
 
   // Validation pass with fresh seeds.
   RunnerOptions validation_options = runner_options;

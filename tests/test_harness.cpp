@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <stdexcept>
 
 #include "harness/budget.hpp"
 #include "harness/result_db.hpp"
@@ -277,6 +279,42 @@ TEST_F(RunnerTest, SingleFlightDeduplicatesConcurrentMisses) {
   // never double-charged for duplicate simulations.
   EXPECT_EQ(budget.spent(),
             reference_budget.spent() + SimTime::seconds(0.05) * 15.0);
+}
+
+TEST_F(RunnerTest, SingleFlightLeaderFailureWakesAllWaiters) {
+  // A budget whose charge() throws models any exception escaping the
+  // leader mid-measurement. Every waiter joined to that flight must
+  // observe the leader's exception — not a synthetic result, and never a
+  // missed wakeup — and the fingerprint must stay uncached so a later
+  // call re-measures.
+  struct ThrowingBudget final : BudgetClock {
+    ThrowingBudget() : BudgetClock(SimTime::minutes(1000)) {}
+    void charge(SimTime) override {
+      throw std::runtime_error("injected budget failure");
+    }
+  };
+  BenchmarkRunner runner(sim_, tiny_workload());
+  ThrowingBudget bad;
+  ThreadPool pool(8);
+  std::atomic<int> thrown{0};
+  pool.parallel_for(16, [&](std::size_t) {
+    try {
+      runner.measure(config_, &bad);
+      ADD_FAILURE() << "measure() swallowed the leader's exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "injected budget failure");
+      thrown.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(thrown.load(), 16);
+  // Failed flights populate neither the cache nor the hit counter.
+  EXPECT_EQ(runner.cache_hits(), 0);
+  // No residue: a clean retry of the same fingerprint measures and caches.
+  BudgetClock good(SimTime::minutes(1000));
+  const Measurement retried = runner.measure(config_, &good);
+  EXPECT_TRUE(retried.valid());
+  runner.measure(config_, &good);
+  EXPECT_EQ(runner.cache_hits(), 1);
 }
 
 TEST_F(RunnerTest, PartialCrashSalvagesValidRepetitions) {

@@ -17,10 +17,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "flags/parse.hpp"
 #include "harness/journal.hpp"
 #include "support/cancellation.hpp"
 #include "support/log.hpp"
+#include "support/process.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
 #include "tuner/importance.hpp"
@@ -33,10 +36,27 @@ namespace {
 using namespace jat;
 
 /// SIGINT/SIGTERM land here: flip the (async-signal-safe) cancellation
-/// latch and let the session drain, flush, and report normally.
+/// latch and let the session drain, flush, and report normally. Sandbox
+/// workers get SIGTERM forwarded so they finish their current repetition
+/// and reply instead of blocking the drain. A *second* SIGINT means the
+/// operator wants out now: SIGKILL every worker and hard-exit nonzero —
+/// everything in the handler is async-signal-safe (atomics, kill, _exit).
 CancellationToken g_cancel;
+volatile sig_atomic_t g_stop_signals = 0;
 
-extern "C" void handle_stop_signal(int) { g_cancel.cancel(); }
+extern "C" void handle_stop_signal(int sig) {
+  if (sig == SIGINT) {
+    // ++ on volatile is deprecated in C++20; a read-modify-write is safe
+    // here because SIGINT cannot preempt its own handler (not SA_NODEFER).
+    g_stop_signals = g_stop_signals + 1;
+    if (g_stop_signals >= 2) {
+      ChildRegistry::kill_all(SIGKILL);
+      _exit(130);
+    }
+  }
+  g_cancel.cancel();
+  ChildRegistry::kill_all(SIGTERM);
+}
 
 void usage() {
   std::printf(
@@ -67,6 +87,22 @@ void usage() {
       "                      (deterministic crash injection for recovery tests)\n"
       "  --replay FILE       re-measure a saved .flags file on --workload\n"
       "  --racing            abandon clearly-losing candidates after 1 rep\n"
+      "  --resilient         retry/quarantine/circuit-breaker layer between\n"
+      "                      tuner and evaluator\n"
+      "  --sandbox           run every measurement in a forked worker process:\n"
+      "                      a crashing or wedged evaluation kills its worker,\n"
+      "                      never the session (fault-free runs stay\n"
+      "                      bit-identical to the in-process path)\n"
+      "  --sandbox-workers N   worker pool size (default 2)\n"
+      "  --eval-deadline-s S   wall-clock deadline per sandboxed evaluation;\n"
+      "                      past it the worker gets SIGTERM then SIGKILL and\n"
+      "                      the evaluation is classified as a timeout\n"
+      "  --sandbox-rlimit-cpu S   RLIMIT_CPU seconds per worker (0 = off)\n"
+      "  --sandbox-rlimit-as MB   RLIMIT_AS megabytes per worker (0 = off)\n"
+      "  --sandbox-inject-kill R  fault injection: probability a worker is\n"
+      "                      SIGKILLed mid-measurement (per configuration)\n"
+      "  --sandbox-inject-wedge R  probability a worker wedges in a busy loop\n"
+      "  --sandbox-inject-torn R   probability of a torn (truncated) reply\n"
       "  --explain           leave-one-out analysis of the winning flags\n"
       "  --verbose           per-phase progress logging\n"
       "  --list              list available workloads\n");
@@ -290,6 +326,32 @@ int main(int argc, char** argv) {
       journal_options.crash_after_appends = std::atoi(next());
     } else if (arg == "--racing") {
       options.racing_factor = 1.3;
+    } else if (arg == "--resilient") {
+      options.resilient = true;
+    } else if (arg == "--sandbox") {
+      options.sandbox = true;
+    } else if (arg == "--sandbox-workers") {
+      options.sandbox = true;
+      options.sandbox_options.workers =
+          static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--eval-deadline-s") {
+      options.sandbox = true;
+      options.sandbox_options.eval_deadline_s = std::atof(next());
+    } else if (arg == "--sandbox-rlimit-cpu") {
+      options.sandbox = true;
+      options.sandbox_options.rlimit_cpu_s = std::atoi(next());
+    } else if (arg == "--sandbox-rlimit-as") {
+      options.sandbox = true;
+      options.sandbox_options.rlimit_as_mb = std::atoi(next());
+    } else if (arg == "--sandbox-inject-kill") {
+      options.sandbox = true;
+      options.sandbox_options.inject.kill_rate = std::atof(next());
+    } else if (arg == "--sandbox-inject-wedge") {
+      options.sandbox = true;
+      options.sandbox_options.inject.wedge_rate = std::atof(next());
+    } else if (arg == "--sandbox-inject-torn") {
+      options.sandbox = true;
+      options.sandbox_options.inject.torn_rate = std::atof(next());
     } else if (arg == "--replay") {
       replay_path = next();
     } else if (arg == "--explain") {
@@ -347,10 +409,18 @@ int main(int argc, char** argv) {
   }
 
   // Graceful interruption: Ctrl-C / SIGTERM close admission, drain the
-  // in-flight evaluations, flush journal and trace, and print the incumbent.
+  // in-flight evaluations, flush journal and trace, and print the
+  // incumbent; a second Ctrl-C hard-exits. sigaction (not std::signal):
+  // explicit flags — no SA_RESETHAND (the second SIGINT must still reach
+  // our handler, not default-kill mid-cleanup), SA_RESTART so slow stdio
+  // is not interrupted mid-report.
   options.cancel = &g_cancel;
-  std::signal(SIGINT, handle_stop_signal);
-  std::signal(SIGTERM, handle_stop_signal);
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
 
   try {
     std::optional<SessionJournal> journal;
