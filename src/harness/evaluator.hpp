@@ -9,9 +9,25 @@
 
 #include "flags/configuration.hpp"
 #include "harness/budget.hpp"
+#include "harness/measure_policy.hpp"
 #include "harness/measurement.hpp"
 
 namespace jat {
+
+/// Per-call context the session threads down to the measuring evaluator.
+/// Decorators (fault injection, resilience, sandbox) forward it verbatim;
+/// only BenchmarkRunner consumes it. Default-constructed hints mean "no
+/// incumbent, normal measurement" and reproduce the historical behaviour
+/// exactly.
+struct EvalHints {
+  /// The incumbent's running statistics at dispatch time; the adaptive
+  /// policy races candidates against these. count == 0 disables racing.
+  IncumbentSnapshot incumbent;
+  /// Re-measure a cached raced-out measurement to convergence, merging
+  /// the new repetitions into the cached ones, instead of answering from
+  /// the cache.
+  bool top_up = false;
+};
 
 class Evaluator {
  public:
@@ -19,8 +35,15 @@ class Evaluator {
 
   /// Measures a configuration, charging `budget` (when given) for the
   /// simulated time actually consumed. Must be thread-safe.
-  virtual Measurement measure(const Configuration& config,
-                              BudgetClock* budget) = 0;
+  virtual Measurement measure(const Configuration& config, BudgetClock* budget,
+                              const EvalHints& hints) = 0;
+
+  /// Convenience entry without hints. Derived classes re-expose it with
+  /// `using Evaluator::measure;`.
+  Measurement measure(const Configuration& config,
+                      BudgetClock* budget = nullptr) {
+    return measure(config, budget, EvalHints{});
+  }
 };
 
 }  // namespace jat

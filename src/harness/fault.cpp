@@ -95,7 +95,8 @@ Measurement FaultInjectingEvaluator::injected_crash(std::uint64_t fingerprint,
 }
 
 Measurement FaultInjectingEvaluator::measure(const Configuration& config,
-                                             BudgetClock* budget) {
+                                             BudgetClock* budget,
+                                             const EvalHints& hints) {
   const std::uint64_t fingerprint = config.fingerprint();
   std::uint64_t attempt;
   bool listed_crasher;
@@ -128,7 +129,7 @@ Measurement FaultInjectingEvaluator::measure(const Configuration& config,
                           options_.failure_cost, budget);
   }
 
-  Measurement m = inner_->measure(config, budget);
+  Measurement m = inner_->measure(config, budget, hints);
   if (!m.crashed && attempt_rng.chance(options_.latency_spike_rate)) {
     for (double& t : m.times_ms) t *= options_.latency_spike_factor;
     m.summary = summarize(m.times_ms);

@@ -96,8 +96,9 @@ class FaultInjectingEvaluator : public Evaluator {
  public:
   FaultInjectingEvaluator(Evaluator& inner, FaultOptions options = {});
 
-  Measurement measure(const Configuration& config,
-                      BudgetClock* budget) override;
+  Measurement measure(const Configuration& config, BudgetClock* budget,
+                      const EvalHints& hints) override;
+  using Evaluator::measure;
 
   /// Marks a fingerprint as always-crashing, in addition to the ones the
   /// `deterministic_rate` draw selects.

@@ -111,6 +111,11 @@ TraceEvent meta_to_event(const JournalMeta& meta) {
       .with("eval_threads", static_cast<std::int64_t>(meta.eval_threads))
       .with("per_run_overhead_s", meta.per_run_overhead_s)
       .with("racing_factor", meta.racing_factor)
+      .with("adaptive", meta.adaptive)
+      .with("min_reps", static_cast<std::int64_t>(meta.min_reps))
+      .with("max_reps", static_cast<std::int64_t>(meta.max_reps))
+      .with("ci_rel", meta.ci_rel)
+      .with("race_p", meta.race_p)
       .with("space_fingerprint", render_hex(meta.space_fingerprint))
       .with("resilient", meta.resilient)
       .with("fault_fingerprint", render_hex(meta.fault_fingerprint));
@@ -129,6 +134,13 @@ JournalMeta meta_from_event(const TraceEvent& event) {
   meta.eval_threads = static_cast<std::size_t>(event.get_int("eval_threads"));
   meta.per_run_overhead_s = event.get_double("per_run_overhead_s");
   meta.racing_factor = event.get_double("racing_factor");
+  // Policy fields default to policy-off values when absent (pre-policy
+  // journals), matching the session defaults they validate against.
+  meta.adaptive = event.get_bool("adaptive", false);
+  meta.min_reps = static_cast<int>(event.get_int("min_reps", 2));
+  meta.max_reps = static_cast<int>(event.get_int("max_reps", 10));
+  meta.ci_rel = event.get_double("ci_rel", 0.02);
+  meta.race_p = event.get_double("race_p", 0.05);
   meta.space_fingerprint = parse_hex(event.get_string("space_fingerprint"));
   meta.resilient = event.get_bool("resilient");
   meta.fault_fingerprint = parse_hex(event.get_string("fault_fingerprint"));
@@ -146,6 +158,7 @@ TraceEvent eval_to_event(const JournalEval& eval) {
       .with("fault", std::string(to_string(eval.fault)))
       .with("attempts", static_cast<std::int64_t>(eval.attempts))
       .with("failed_reps", static_cast<std::int64_t>(eval.failed_reps))
+      .with("stop", std::string(to_string(eval.stop)))
       .with("cost_us", eval.cost.as_micros())
       .with("spent_us", eval.budget_spent.as_micros())
       .with("command_line", eval.command_line);
@@ -162,6 +175,7 @@ JournalEval eval_from_event(const TraceEvent& event) {
   eval.fault = fault_class_from_string(event.get_string("fault", "none"));
   eval.attempts = static_cast<int>(event.get_int("attempts", 1));
   eval.failed_reps = static_cast<int>(event.get_int("failed_reps"));
+  eval.stop = stop_reason_from_string(event.get_string("stop", "full"));
   eval.cost = SimTime::micros(event.get_int("cost_us"));
   eval.budget_spent = SimTime::micros(event.get_int("spent_us"));
   eval.command_line = event.get_string("command_line");
@@ -179,6 +193,7 @@ Measurement JournalEval::to_measurement() const {
   m.fault = fault;
   m.attempts = attempts;
   m.failed_reps = failed_reps;
+  m.stop = stop;
   if (!m.times_ms.empty()) m.summary = summarize(m.times_ms);
   return m;
 }
@@ -451,6 +466,7 @@ JournalEval make_journal_eval(std::int64_t seq, const Configuration& config,
   eval.fault = measurement.fault;
   eval.attempts = measurement.attempts;
   eval.failed_reps = measurement.failed_reps;
+  eval.stop = measurement.stop;
   eval.cost = cost;
   eval.budget_spent = budget_spent;
   return eval;
@@ -485,6 +501,17 @@ void validate_resume_meta(const JournalMeta& journaled,
   check(journaled.racing_factor == session.racing_factor, "racing_factor",
         render_double(journaled.racing_factor),
         render_double(session.racing_factor));
+  check(journaled.adaptive == session.adaptive, "adaptive",
+        journaled.adaptive ? "true" : "false",
+        session.adaptive ? "true" : "false");
+  check(journaled.min_reps == session.min_reps, "min_reps",
+        std::to_string(journaled.min_reps), std::to_string(session.min_reps));
+  check(journaled.max_reps == session.max_reps, "max_reps",
+        std::to_string(journaled.max_reps), std::to_string(session.max_reps));
+  check(journaled.ci_rel == session.ci_rel, "ci_rel",
+        render_double(journaled.ci_rel), render_double(session.ci_rel));
+  check(journaled.race_p == session.race_p, "race_p",
+        render_double(journaled.race_p), render_double(session.race_p));
   check(journaled.space_fingerprint == session.space_fingerprint,
         "space_fingerprint", render_hex(journaled.space_fingerprint),
         render_hex(session.space_fingerprint));

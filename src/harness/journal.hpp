@@ -77,6 +77,15 @@ struct JournalMeta {
   std::size_t eval_threads = 0;
   double per_run_overhead_s = 0.0;
   double racing_factor = 0.0;
+  /// Adaptive measurement policy (harness/measure_policy.hpp). Defaults
+  /// match MeasurementPolicyOptions with `adaptive` off, so journals
+  /// written before the policy existed validate against policy-off
+  /// sessions unchanged.
+  bool adaptive = false;
+  int min_reps = 2;
+  int max_reps = 10;
+  double ci_rel = 0.02;
+  double race_p = 0.05;
   /// Fingerprint of the flag space the session searched (defaults
   /// fingerprint mixed with the registry size): a journal from a different
   /// flag registry replays into nonsense and must be refused.
@@ -102,6 +111,7 @@ struct JournalEval {
   FaultClass fault = FaultClass::kNone;
   int attempts = 1;
   int failed_reps = 0;
+  StopReason stop = StopReason::kFull;  ///< why repetitions stopped
   SimTime cost;          ///< exact budget charge of this evaluation
   SimTime budget_spent;  ///< clock position when committed (diagnostic)
 

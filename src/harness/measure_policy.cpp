@@ -1,0 +1,42 @@
+#include "harness/measure_policy.hpp"
+
+#include <algorithm>
+
+namespace jat {
+
+MeasurementPolicy::MeasurementPolicy(const MeasurementPolicyOptions& options,
+                                     const IncumbentSnapshot& incumbent)
+    : options_(options) {
+  if (incumbent.usable()) {
+    incumbent_ = incumbent.to_stat();
+    has_incumbent_ = true;
+  }
+}
+
+MeasurementPolicy::Decision MeasurementPolicy::after_rep(
+    const RunningStat& sample) const {
+  if (!options_.adaptive) return Decision::kContinue;
+  const int min_reps = std::max(2, options_.min_reps);
+  if (sample.count() < static_cast<std::size_t>(min_reps)) {
+    return Decision::kContinue;
+  }
+
+  // Convergence first: a tight mean is always worth keeping, even for a
+  // loser — the session compares objectives, not stop reasons.
+  const double dof = static_cast<double>(sample.count() - 1);
+  if (sample.mean() > 0.0 &&
+      t_critical_95(dof) * sample.sem() <= options_.ci_rel * sample.mean()) {
+    return Decision::kConverged;
+  }
+
+  // Racing: abandon when the Welch test says this candidate's mean is
+  // worse than the incumbent's at the configured significance. One-sided
+  // intent (worse only), so the mean ordering gates the two-sided p.
+  if (has_incumbent_ && sample.mean() > incumbent_.mean()) {
+    const WelchResult w = welch_t_test(sample, incumbent_);
+    if (w.p_value < options_.race_p) return Decision::kRacedOut;
+  }
+  return Decision::kContinue;
+}
+
+}  // namespace jat

@@ -1,0 +1,117 @@
+// Adaptive measurement policy: how many repetitions a candidate deserves.
+//
+// The paper's evaluation is budget-bound, so every repetition spent on a
+// candidate whose mean is already known — or already known to be worse
+// than the incumbent — is budget a strategy could have spent exploring.
+// MeasurementPolicy is the per-repetition decision layer the runner
+// consults after every successful repetition: stop because the mean has
+// converged (CI95 half-width within a relative threshold), abandon because
+// a Welch test against the incumbent's running statistics says this
+// candidate is worse (generalizing the old first-rep-only racing factor to
+// every repetition), or continue up to a cap. The decision and its
+// statistics are pure; the runner owns seeds, budget charging, and faults.
+//
+// Every early exit is recorded as a StopReason in the Measurement, so
+// downstream consumers (ResultDb CSV, journal, traces) can distinguish a
+// trusted summary from a truncated one — and the session can later "top
+// up" a raced-out measurement that becomes an incumbent candidate.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "support/statistics.hpp"
+
+namespace jat {
+
+/// Why a measurement stopped collecting repetitions.
+enum class StopReason {
+  kFull = 0,    ///< ran its planned repetitions (or faulted out; see fault)
+  kConverged,   ///< adaptive: CI95 half-width within ci_rel of the mean
+  kRacedOut,    ///< abandoned as worse than the incumbent (racing or Welch)
+  kBudgetCut,   ///< the tuning budget expired mid-measurement
+  kCancelled,   ///< cooperative cancellation drained it early
+};
+
+constexpr const char* to_string(StopReason stop) {
+  switch (stop) {
+    case StopReason::kFull: return "full";
+    case StopReason::kConverged: return "converged";
+    case StopReason::kRacedOut: return "raced_out";
+    case StopReason::kBudgetCut: return "budget_cut";
+    case StopReason::kCancelled: return "cancelled";
+  }
+  return "full";
+}
+
+/// Inverse of to_string(StopReason); unknown labels read as kFull (the
+/// session journal round-trips stop reasons through their names).
+constexpr StopReason stop_reason_from_string(std::string_view name) {
+  if (name == "converged") return StopReason::kConverged;
+  if (name == "raced_out") return StopReason::kRacedOut;
+  if (name == "budget_cut") return StopReason::kBudgetCut;
+  if (name == "cancelled") return StopReason::kCancelled;
+  return StopReason::kFull;
+}
+
+/// Tuning knobs for the adaptive policy. Disabled by default: with
+/// `adaptive` off the runner executes its fixed repetition count exactly as
+/// before, bit-identical at a fixed seed.
+struct MeasurementPolicyOptions {
+  /// Master switch for per-repetition stop/abandon decisions.
+  bool adaptive = false;
+  /// Never decide before this many successful repetitions (a variance
+  /// estimate needs at least two samples).
+  int min_reps = 2;
+  /// Repetition cap when adaptive (replaces the fixed repetition count).
+  int max_reps = 10;
+  /// Converged when t_crit * sem <= ci_rel * mean: the 95% confidence
+  /// interval of the mean is within this relative half-width.
+  double ci_rel = 0.02;
+  /// Abandon when a Welch test against the incumbent says this candidate's
+  /// mean is *worse* with p below this threshold.
+  double race_p = 0.05;
+};
+
+/// The incumbent's running statistics at dispatch time, in the serialized
+/// moment form that crosses the sandbox request frame. count == 0 means "no
+/// usable incumbent" (session start, or the policy is disabled).
+struct IncumbentSnapshot {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  ///< Welford sum of squared deviations
+
+  /// A Welch test needs a variance on both sides.
+  bool usable() const { return count >= 2; }
+  RunningStat to_stat() const {
+    return RunningStat::from_moments(count, mean, m2);
+  }
+};
+
+/// Per-repetition decision engine. Stateless beyond its inputs: the runner
+/// feeds it the sample accumulated so far and it answers stop/abandon/
+/// continue. Kept separate from the runner so the stop rule is testable
+/// without a simulator.
+class MeasurementPolicy {
+ public:
+  enum class Decision {
+    kContinue,   ///< collect another repetition
+    kConverged,  ///< mean is trusted; stop
+    kRacedOut,   ///< statistically worse than the incumbent; abandon
+  };
+
+  MeasurementPolicy(const MeasurementPolicyOptions& options,
+                    const IncumbentSnapshot& incumbent);
+
+  /// Decision after a successful repetition, given every successful
+  /// repetition so far. Convergence is checked before racing: a converged
+  /// loser still gets an honest (tight) measurement.
+  Decision after_rep(const RunningStat& sample) const;
+
+ private:
+  MeasurementPolicyOptions options_;
+  RunningStat incumbent_;
+  bool has_incumbent_ = false;
+};
+
+}  // namespace jat

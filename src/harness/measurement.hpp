@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "harness/measure_policy.hpp"
 #include "support/statistics.hpp"
 
 namespace jat {
@@ -64,6 +65,12 @@ struct Measurement {
   int attempts = 1;
   /// Repetitions that crashed inside an otherwise valid measurement.
   int failed_reps = 0;
+  /// Why repetition collection stopped (measure_policy.hpp): kFull for a
+  /// measurement that ran its plan (or faulted out — fault/failed_reps
+  /// carry that story); the other reasons mark truncated summaries. A
+  /// cached kRacedOut measurement is the one the session tops up before
+  /// trusting it as an incumbent.
+  StopReason stop = StopReason::kFull;
 
   /// The tuning objective: mean run time in ms, lower is better. Crashed
   /// configurations are infinitely bad, like a failed run in the paper's

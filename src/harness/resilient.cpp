@@ -44,7 +44,8 @@ bool ResilientEvaluator::is_quarantined(std::uint64_t fingerprint) const {
 }
 
 Measurement ResilientEvaluator::measure(const Configuration& config,
-                                        BudgetClock* budget) {
+                                        BudgetClock* budget,
+                                        const EvalHints& hints) {
   const std::uint64_t fingerprint = config.fingerprint();
   {
     std::lock_guard lock(mutex_);
@@ -80,7 +81,7 @@ Measurement ResilientEvaluator::measure(const Configuration& config,
       CancellationToken hang_token;
       DeadlineBudget deadline(budget, SimTime::seconds(options_.hang_deadline_s),
                               &hang_token);
-      m = inner_->measure(config, &deadline);
+      m = inner_->measure(config, &deadline, hints);
       if (deadline.tripped() && m.crashed) {
         m.fault = FaultClass::kTimeout;
         m.crash_reason = "hang deadline (" +
@@ -100,7 +101,7 @@ Measurement ResilientEvaluator::measure(const Configuration& config,
         }
       }
     } else {
-      m = inner_->measure(config, budget);
+      m = inner_->measure(config, budget, hints);
     }
 
     // Salvage: a measurement with at least one valid repetition is a noisy

@@ -54,8 +54,9 @@ class ResilientEvaluator : public Evaluator {
  public:
   ResilientEvaluator(Evaluator& inner, ResilienceOptions options = {});
 
-  Measurement measure(const Configuration& config,
-                      BudgetClock* budget) override;
+  Measurement measure(const Configuration& config, BudgetClock* budget,
+                      const EvalHints& hints) override;
+  using Evaluator::measure;
 
   const ResilienceOptions& resilience_options() const { return options_; }
   /// Counters for the recovery actions taken so far (snapshot; thread-safe).

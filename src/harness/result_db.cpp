@@ -13,7 +13,8 @@ namespace jat {
 std::int64_t ResultDb::record(std::uint64_t fingerprint, double objective_ms,
                               SimTime budget_spent, std::string command_line,
                               std::string phase, FaultClass fault,
-                              std::string crash_reason, int attempts) {
+                              std::string crash_reason, int attempts,
+                              StopReason stop) {
   std::lock_guard lock(mutex_);
   EvalRecord rec;
   rec.index = static_cast<std::int64_t>(records_.size());
@@ -25,6 +26,7 @@ std::int64_t ResultDb::record(std::uint64_t fingerprint, double objective_ms,
   rec.fault = fault;
   rec.crash_reason = std::move(crash_reason);
   rec.attempts = attempts;
+  rec.stop = stop;
   records_.push_back(std::move(rec));
   return records_.back().index;
 }
@@ -98,14 +100,15 @@ bool ResultDb::save_csv(const std::string& path) const {
   {
     std::ofstream out(tmp);
     if (!out) return false;
-    out << "index,fingerprint,objective_ms,budget_spent_s,phase,fault,attempts,"
-           "crash_reason,command_line\n";
+    out << "index,fingerprint,objective_ms,budget_spent_s,phase,fault,stop,"
+           "attempts,crash_reason,command_line\n";
     for (const auto& rec : all()) {
       out << rec.index << ',' << rec.fingerprint << ',' << rec.objective_ms
           << ',' << rec.budget_spent.as_seconds() << ','
           << csv_quote(rec.phase) << ',' << to_string(rec.fault) << ','
-          << rec.attempts << ',' << csv_quote(rec.crash_reason) << ','
-          << csv_quote(rec.command_line) << "\n";
+          << to_string(rec.stop) << ',' << rec.attempts << ','
+          << csv_quote(rec.crash_reason) << ',' << csv_quote(rec.command_line)
+          << "\n";
     }
     out.flush();
     if (!out) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness/fault.hpp"
+#include "harness/measure_policy.hpp"
 #include "harness/measurement.hpp"
 #include "support/sim_time.hpp"
 
@@ -25,6 +26,7 @@ struct EvalRecord {
   FaultClass fault = FaultClass::kNone;  ///< failure taxonomy of the evaluation
   std::string crash_reason;          ///< empty for clean evaluations
   int attempts = 1;                  ///< evaluation attempts (1 + retries)
+  StopReason stop = StopReason::kFull;  ///< why repetitions stopped
 };
 
 class ResultDb {
@@ -34,7 +36,8 @@ class ResultDb {
                       SimTime budget_spent, std::string command_line,
                       std::string phase = "",
                       FaultClass fault = FaultClass::kNone,
-                      std::string crash_reason = "", int attempts = 1);
+                      std::string crash_reason = "", int attempts = 1,
+                      StopReason stop = StopReason::kFull);
 
   std::size_t size() const;
   EvalRecord get(std::size_t index) const;

@@ -1,5 +1,6 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "support/rng.hpp"
@@ -47,28 +48,47 @@ void BenchmarkRunner::trace_cache_hit(std::uint64_t fingerprint, bool joined,
 }
 
 Measurement BenchmarkRunner::measure(const Configuration& config,
-                                     BudgetClock* budget) {
+                                     BudgetClock* budget,
+                                     const EvalHints& hints) {
   const std::uint64_t fingerprint = config.fingerprint();
   std::shared_ptr<InFlight> flight;
   bool leader = false;
+  Measurement base;
+  bool continuing = false;
   {
     std::lock_guard lock(mutex_);
     const auto it = cache_.find(fingerprint);
     if (it != cache_.end()) {
-      ++cache_hits_;
-      if (budget != nullptr) {
-        budget->charge(SimTime::seconds(kCacheHitOverheadSeconds));
+      // Top-up: a cached raced-out measurement asked for again as an
+      // incumbent candidate is continued, not trusted at its truncated
+      // repetition count. Pull it out of the cache and lead a fresh
+      // single-flight measurement from where it stopped; concurrent
+      // requests arriving meanwhile join the merged result.
+      if (hints.top_up && options_.policy.adaptive && it->second.valid() &&
+          it->second.stop == StopReason::kRacedOut) {
+        base = it->second;
+        continuing = true;
+        cache_.erase(it);
+        flight = std::make_shared<InFlight>();
+        in_flight_.emplace(fingerprint, flight);
+        leader = true;
+      } else {
+        ++cache_hits_;
+        if (budget != nullptr) {
+          budget->charge(SimTime::seconds(kCacheHitOverheadSeconds));
+        }
+        trace_cache_hit(fingerprint, /*joined=*/false, budget);
+        return it->second;
       }
-      trace_cache_hit(fingerprint, /*joined=*/false, budget);
-      return it->second;
-    }
-    const auto in_flight = in_flight_.find(fingerprint);
-    if (in_flight != in_flight_.end()) {
-      flight = in_flight->second;
     } else {
-      flight = std::make_shared<InFlight>();
-      in_flight_.emplace(fingerprint, flight);
-      leader = true;
+      const auto in_flight = in_flight_.find(fingerprint);
+      if (in_flight != in_flight_.end()) {
+        flight = in_flight->second;
+      } else {
+        flight = std::make_shared<InFlight>();
+        in_flight_.emplace(fingerprint, flight);
+        leader = true;
+      }
     }
   }
 
@@ -94,7 +114,8 @@ Measurement BenchmarkRunner::measure(const Configuration& config,
 
   Measurement measurement;
   try {
-    measurement = measure_uncached(config, budget);
+    measurement =
+        measure_uncached(config, budget, hints, continuing ? &base : nullptr);
   } catch (...) {
     // Never leave followers waiting on a leader that died: hand them the
     // exception itself and re-throw. The fingerprint stays uncached, so a
@@ -126,19 +147,44 @@ Measurement BenchmarkRunner::measure(const Configuration& config,
 }
 
 Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
-                                              BudgetClock* budget) {
+                                              BudgetClock* budget,
+                                              const EvalHints& hints,
+                                              const Measurement* base) {
   Measurement m;
   m.config_fingerprint = config.fingerprint();
-  m.times_ms.reserve(static_cast<std::size_t>(options_.repetitions));
+
+  const bool adaptive = options_.policy.adaptive;
+  const int planned =
+      adaptive ? std::max(1, options_.policy.max_reps) : options_.repetitions;
 
   int failed_reps = 0;
   FaultClass worst_fault = FaultClass::kNone;
   std::string last_crash_reason;
+  int start_rep = 0;
+  RunningStat sample;
+  if (base != nullptr) {
+    // Continuation (top-up): resume the repetition index where the partial
+    // measurement stopped. Seeds derive from the absolute index, so the
+    // merged result is bit-identical to a from-scratch full measurement.
+    m.times_ms = base->times_ms;
+    m.attempts = base->attempts;
+    failed_reps = base->failed_reps;
+    worst_fault = base->fault;
+    start_rep = static_cast<int>(base->times_ms.size()) + base->failed_reps;
+    for (double t : m.times_ms) sample.add(t);
+  }
+  m.times_ms.reserve(static_cast<std::size_t>(planned));
 
-  for (int rep = 0; rep < options_.repetitions; ++rep) {
+  const MeasurementPolicy policy(options_.policy, hints.incumbent);
+  StopReason stop = StopReason::kFull;
+
+  for (int rep = start_rep; rep < planned; ++rep) {
     // Cooperative cancellation stops after the current repetition, never
     // before the first: a drained measurement is a valid measurement.
-    if (rep > 0 && is_cancelled(cancel_)) break;
+    if ((rep > start_rep || base != nullptr) && is_cancelled(cancel_)) {
+      stop = StopReason::kCancelled;
+      break;
+    }
     const std::uint64_t seed =
         mix64(options_.seed, mix64(m.config_fingerprint, static_cast<std::uint64_t>(rep)));
     RunResult run = simulator_->run(config, workload_, seed);
@@ -173,29 +219,48 @@ Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
       if (options_.fail_fast) break;
     } else {
       m.times_ms.push_back(run.total_time.as_millis());
+      sample.add(run.total_time.as_millis());
 
       // Racing: abandon clear losers after their first repetition.
       if (rep == 0 && options_.racing_factor > 0.0) {
         const double first = run.total_time.as_millis();
         const double floor = best_first_rep_ms_.load(std::memory_order_relaxed);
         if (floor > 0.0 && first > floor * options_.racing_factor) {
+          stop = StopReason::kRacedOut;
           break;
         }
         merge_racing_floor_ms(first);
       }
+
+      // Adaptive policy: stop when the mean has converged, abandon when a
+      // Welch test against the incumbent says this candidate is worse.
+      const MeasurementPolicy::Decision decision = policy.after_rep(sample);
+      if (decision == MeasurementPolicy::Decision::kConverged) {
+        stop = StopReason::kConverged;
+        break;
+      }
+      if (decision == MeasurementPolicy::Decision::kRacedOut) {
+        stop = StopReason::kRacedOut;
+        break;
+      }
     }
     // Keep the overshoot bounded by one run: once the budget expires
     // mid-measurement, what has been collected so far is the measurement.
-    if (budget != nullptr && budget->exhausted()) break;
+    if (budget != nullptr && budget->exhausted()) {
+      if (rep + 1 < planned) stop = StopReason::kBudgetCut;
+      break;
+    }
   }
 
   m.failed_reps = failed_reps;
   m.fault = worst_fault;
+  m.stop = stop;
   if (!m.times_ms.empty()) {
     // At least one repetition succeeded: a noisy result, not a crash. The
     // failure count stays visible in failed_reps / FaultStats.
     m.summary = summarize(m.times_ms);
-    if (failed_reps > 0) {
+    const int base_failed = base != nullptr ? base->failed_reps : 0;
+    if (failed_reps > base_failed) {
       std::lock_guard lock(mutex_);
       ++stats_.salvaged;
     }

@@ -40,6 +40,13 @@ struct RunnerOptions {
   /// at the price of a noisier (but still honest) objective for them.
   /// 0 disables racing.
   double racing_factor = 0.0;
+  /// Confidence-driven adaptive repetitions (measure_policy.hpp). When
+  /// `policy.adaptive` is set, `policy.max_reps` replaces `repetitions` as
+  /// the cap and the runner stops each measurement as soon as its mean has
+  /// converged or a Welch test against the incumbent (EvalHints) says it
+  /// is worse. Disabled by default: behaviour is then bit-identical to the
+  /// fixed-repetition loop.
+  MeasurementPolicyOptions policy;
 };
 
 class BenchmarkRunner : public Evaluator {
@@ -56,8 +63,15 @@ class BenchmarkRunner : public Evaluator {
   /// fingerprint are single-flight: one thread runs the simulator, the
   /// rest wait for its result and are charged like a cache hit, so the
   /// budget is never double-charged for one configuration. Thread-safe.
-  Measurement measure(const Configuration& config,
-                      BudgetClock* budget = nullptr) override;
+  ///
+  /// `hints` carries the incumbent statistics for the adaptive policy's
+  /// racing decision, and the top-up request: a cached raced-out
+  /// measurement asked for with `hints.top_up` is continued — further
+  /// repetitions, with seed continuity, merged into the cached ones —
+  /// instead of answered from the cache.
+  Measurement measure(const Configuration& config, BudgetClock* budget,
+                      const EvalHints& hints) override;
+  using Evaluator::measure;
 
   /// Abandons runs whose simulated time exceeds `limit` — they come back
   /// crashed ("harness timeout") and are charged only the limit. Sessions
@@ -119,7 +133,12 @@ class BenchmarkRunner : public Evaluator {
     std::exception_ptr error;  ///< set when the leader threw; followers rethrow
   };
 
-  Measurement measure_uncached(const Configuration& config, BudgetClock* budget);
+  /// Runs the repetition loop. `base` (may be null) is a previous partial
+  /// measurement to continue from: repetitions resume at its count, so the
+  /// merged result is bit-identical to a from-scratch full measurement.
+  Measurement measure_uncached(const Configuration& config, BudgetClock* budget,
+                               const EvalHints& hints,
+                               const Measurement* base);
 
   void trace_cache_hit(std::uint64_t fingerprint, bool joined,
                        BudgetClock* budget);

@@ -112,6 +112,13 @@ struct Request {
   std::int64_t total_us = 0;
   std::int64_t time_limit_us = 0;
   double racing_floor_ms = 0.0;
+  // EvalHints across the process boundary: the incumbent's running
+  // statistics (serialized moments) for the adaptive racing decision, and
+  // the top-up flag. Zero count means no incumbent.
+  bool top_up = false;
+  std::uint64_t incumbent_count = 0;
+  double incumbent_mean = 0.0;
+  double incumbent_m2 = 0.0;
   std::string command_line;
 };
 
@@ -123,6 +130,10 @@ std::string encode_request(const Request& req) {
   append_i64(p, req.total_us);
   append_i64(p, req.time_limit_us);
   append_f64(p, req.racing_floor_ms);
+  p.push_back(req.top_up ? 1 : 0);
+  append_u64(p, req.incumbent_count);
+  append_f64(p, req.incumbent_mean);
+  append_f64(p, req.incumbent_m2);
   append_u32(p, static_cast<std::uint32_t>(req.command_line.size()));
   p += req.command_line;
   return p;
@@ -136,6 +147,10 @@ bool decode_request(const std::string& payload, Request& req) {
   req.total_us = r.i64();
   req.time_limit_us = r.i64();
   req.racing_floor_ms = r.f64();
+  req.top_up = r.u8() != 0;
+  req.incumbent_count = r.u64();
+  req.incumbent_mean = r.f64();
+  req.incumbent_m2 = r.f64();
   const std::uint32_t len = r.u32();
   req.command_line = r.bytes(len);
   return r.ok() && r.exhausted();
@@ -146,6 +161,7 @@ struct Reply {
   std::uint64_t fingerprint = 0;
   bool crashed = false;
   FaultClass fault = FaultClass::kNone;
+  StopReason stop = StopReason::kFull;
   std::int32_t attempts = 1;
   std::int32_t failed_reps = 0;
   std::int64_t cost_us = 0;
@@ -198,6 +214,7 @@ std::string encode_reply(const Reply& reply) {
   append_u64(p, reply.fingerprint);
   p.push_back(reply.crashed ? 1 : 0);
   p.push_back(static_cast<char>(reply.fault));
+  p.push_back(static_cast<char>(reply.stop));
   append_i64(p, reply.attempts);
   append_i64(p, reply.failed_reps);
   append_i64(p, reply.cost_us);
@@ -218,6 +235,7 @@ bool decode_reply(const std::string& payload, Reply& reply) {
   reply.fingerprint = r.u64();
   reply.crashed = r.u8() != 0;
   reply.fault = static_cast<FaultClass>(r.u8());
+  reply.stop = static_cast<StopReason>(r.u8());
   reply.attempts = static_cast<std::int32_t>(r.i64());
   reply.failed_reps = static_cast<std::int32_t>(r.i64());
   reply.cost_us = r.i64();
@@ -549,10 +567,15 @@ void SandboxedEvaluator::spawn(Worker& worker) {
     BudgetClock shadow(SimTime::micros(req.total_us));
     shadow.charge(SimTime::micros(req.spent_us));
     MeteredBudget meter(&shadow);
+    EvalHints hints;
+    hints.top_up = req.top_up;
+    hints.incumbent.count = static_cast<std::size_t>(req.incumbent_count);
+    hints.incumbent.mean = req.incumbent_mean;
+    hints.incumbent.m2 = req.incumbent_m2;
     Measurement m;
     try {
       m = inner_->measure(parse_command_line(*registry_, req.command_line),
-                          &meter);
+                          &meter, hints);
     } catch (...) {
       ::_exit(7);  // the parent classifies this death as kCrash
     }
@@ -560,6 +583,7 @@ void SandboxedEvaluator::spawn(Worker& worker) {
 
     reply.crashed = m.crashed;
     reply.fault = m.fault;
+    reply.stop = m.stop;
     reply.attempts = m.attempts;
     reply.failed_reps = m.failed_reps;
     reply.cost_us = meter.metered().as_micros();
@@ -701,7 +725,8 @@ void SandboxedEvaluator::retire(Worker& worker, int kill_sig) {
 }
 
 Measurement SandboxedEvaluator::measure(const Configuration& config,
-                                        BudgetClock* budget) {
+                                        BudgetClock* budget,
+                                        const EvalHints& hints) {
   ensure_started();
   const std::uint64_t fingerprint = config.fingerprint();
   // Fingerprint routing: repeats land on the worker whose copy-on-write
@@ -729,6 +754,10 @@ Measurement SandboxedEvaluator::measure(const Configuration& config,
   req.time_limit_us = runner_ != nullptr ? runner_->time_limit().as_micros()
                                          : SimTime::infinite().as_micros();
   req.racing_floor_ms = runner_ != nullptr ? runner_->racing_floor_ms() : 0.0;
+  req.top_up = hints.top_up;
+  req.incumbent_count = static_cast<std::uint64_t>(hints.incumbent.count);
+  req.incumbent_mean = hints.incumbent.mean;
+  req.incumbent_m2 = hints.incumbent.m2;
   req.command_line = config.render_command_line();
 
   const bool has_deadline = options_.eval_deadline_s > 0.0;
@@ -812,6 +841,7 @@ Measurement SandboxedEvaluator::measure(const Configuration& config,
   m.crashed = reply.crashed;
   m.crash_reason = std::move(reply.crash_reason);
   m.fault = reply.fault;
+  m.stop = reply.stop;
   m.attempts = reply.attempts;
   m.failed_reps = reply.failed_reps;
   if (!m.times_ms.empty()) m.summary = summarize(m.times_ms);

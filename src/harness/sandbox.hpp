@@ -125,8 +125,9 @@ class SandboxedEvaluator : public Evaluator {
                      SandboxOptions options = {});
   ~SandboxedEvaluator() override;
 
-  Measurement measure(const Configuration& config,
-                      BudgetClock* budget) override;
+  Measurement measure(const Configuration& config, BudgetClock* budget,
+                      const EvalHints& hints) override;
+  using Evaluator::measure;
 
   /// Links the BenchmarkRunner at the bottom of the wrapped chain (when
   /// there is one) so the sandbox can forward parent-side state the session

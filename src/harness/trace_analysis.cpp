@@ -63,6 +63,19 @@ void reconstruct(SessionTrace& session) {
       if (e.get_bool("joined")) ++session.single_flight_joins;
     } else if (e.type == "retry") {
       ++session.retries;
+    } else if (e.type == "rep_stop") {
+      const std::string stop = e.get_string("stop");
+      if (stop == "converged") {
+        ++session.reps_converged;
+      } else if (stop == "raced_out") {
+        ++session.reps_raced_out;
+      } else if (stop == "budget_cut") {
+        ++session.reps_budget_cut;
+      } else if (stop == "cancelled") {
+        ++session.reps_cancelled;
+      }
+    } else if (e.type == "topup") {
+      ++session.topups;
     } else if (e.type == "quarantine") {
       ++session.quarantined;
     } else if (e.type == "quarantine_hit") {
@@ -202,6 +215,16 @@ const std::vector<EventSpec>& schema() {
        {{"fingerprint", FieldKind::kString},
         {"attempt", FieldKind::kInt},
         {"fault", FieldKind::kString}}},
+      {"rep_stop",
+       {{"fingerprint", FieldKind::kString},
+        {"stop", FieldKind::kString},
+        {"reps", FieldKind::kInt},
+        {"failed_reps", FieldKind::kInt}}},
+      {"topup",
+       {{"fingerprint", FieldKind::kString},
+        {"added_reps", FieldKind::kInt},
+        {"objective_ms", FieldKind::kNumber},
+        {"stop", FieldKind::kString}}},
       {"quarantine",
        {{"fingerprint", FieldKind::kString}, {"reason", FieldKind::kString}}},
       {"quarantine_hit", {{"fingerprint", FieldKind::kString}}},
@@ -319,6 +342,15 @@ std::string render_trace_report(const std::vector<SessionTrace>& sessions,
           << " quarantined (" << session.quarantine_hits << " hits), "
           << session.breaker_trips << " breaker trips, "
           << session.hang_cancelled << " hangs cancelled\n";
+    }
+    if (session.reps_converged + session.reps_raced_out +
+            session.reps_budget_cut + session.reps_cancelled + session.topups >
+        0) {
+      out << "  measurement policy: " << session.reps_converged
+          << " converged early, " << session.reps_raced_out << " raced out, "
+          << session.reps_budget_cut << " budget-cut, "
+          << session.reps_cancelled << " cancelled, " << session.topups
+          << " topped up\n";
     }
     if (!session.journal_mode.empty()) {
       out << "  durability: journal opened " << session.journal_mode;

@@ -59,6 +59,15 @@ struct SessionTrace {
   std::int64_t quarantine_hits = 0;
   std::int64_t breaker_trips = 0;
 
+  // Adaptive measurement policy counters (rep_stop / topup events; zero for
+  // traces predating the policy and for policy-off sessions that never
+  // truncated a measurement).
+  std::int64_t reps_converged = 0;   ///< rep_stop events with stop=converged
+  std::int64_t reps_raced_out = 0;   ///< rep_stop events with stop=raced_out
+  std::int64_t reps_budget_cut = 0;  ///< rep_stop events with stop=budget_cut
+  std::int64_t reps_cancelled = 0;   ///< rep_stop events with stop=cancelled
+  std::int64_t topups = 0;           ///< raced-out winners re-measured
+
   // Scheduler pipeline counters (dispatch/complete/window events; zero for
   // traces predating the EvalScheduler).
   std::int64_t dispatched = 0;       ///< dispatch events

@@ -1,7 +1,9 @@
 #include "support/statistics.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 
 namespace jat {
 
@@ -33,6 +35,17 @@ void RunningStat::merge(const RunningStat& other) {
   n_ += other.n_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+}
+
+RunningStat RunningStat::from_moments(std::size_t n, double mean, double m2) {
+  RunningStat s;
+  if (n == 0) return s;
+  s.n_ = n;
+  s.mean_ = mean;
+  s.m2_ = std::max(0.0, m2);
+  s.min_ = mean;
+  s.max_ = mean;
+  return s;
 }
 
 double RunningStat::variance() const {
@@ -84,9 +97,12 @@ SampleSummary summarize(const std::vector<double>& sample) {
   return s;
 }
 
-double t_critical_95(double dof) {
-  // Two-sided 95% critical values of Student's t. Coarse table, linear use
-  // of the last entry beyond 30 dof (converges to the normal 1.96).
+namespace {
+
+// Coarse 95% t table, kept as the fast seed for the exact inversion below:
+// it brackets the root, so the bisection starts within a factor of two of
+// the answer instead of from scratch.
+double t_critical_95_seed(double dof) {
   struct Entry {
     double dof;
     double t;
@@ -107,6 +123,45 @@ double t_critical_95(double dof) {
   }
   // Tail toward the normal quantile.
   return 1.96 + (2.042 - 1.96) * (30.0 / dof);
+}
+
+// Exact two-sided 95% critical value: the root of
+// student_t_two_sided_p(t, dof) = 0.05, which is strictly decreasing in t.
+double t_critical_95_exact(double dof) {
+  constexpr double kAlpha = 0.05;
+  double lo = 0.0;
+  double hi = std::max(2.0, 2.0 * t_critical_95_seed(dof));
+  while (student_t_two_sided_p(hi, dof) > kAlpha) hi *= 2.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-12 * hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_two_sided_p(mid, dof) > kAlpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double t_critical_95(double dof) {
+  if (!(dof >= 1.0)) dof = 1.0;
+  // The adaptive stop rule and summarize() evaluate this once per
+  // repetition, always at small integer dof; cache those.
+  constexpr int kCachedDofs = 64;
+  static const auto kCache = [] {
+    std::array<double, kCachedDofs + 1> cache{};
+    for (int d = 1; d <= kCachedDofs; ++d) {
+      cache[static_cast<std::size_t>(d)] = t_critical_95_exact(d);
+    }
+    return cache;
+  }();
+  const int idof = static_cast<int>(dof);
+  if (static_cast<double>(idof) == dof && idof <= kCachedDofs) {
+    return kCache[static_cast<std::size_t>(idof)];
+  }
+  return t_critical_95_exact(dof);
 }
 
 namespace {
@@ -180,7 +235,14 @@ WelchResult welch_t_test(const RunningStat& a, const RunningStat& b) {
   const double denom = std::sqrt(va + vb);
   if (denom <= 0.0) {
     // Zero variance in both samples: means either equal or trivially apart.
-    r.t = (a.mean() == b.mean()) ? 0.0 : 1e9;
+    // A genuine infinity (not a large sentinel) keeps downstream output
+    // honest: the trace/CSV writers already render non-finite doubles via
+    // the "inf"/"-inf" JSONL convention, and student_t_two_sided_p(±inf)
+    // agrees that p = 0.
+    r.t = (a.mean() == b.mean())
+              ? 0.0
+              : std::copysign(std::numeric_limits<double>::infinity(),
+                              a.mean() - b.mean());
     r.dof = static_cast<double>(a.count() + b.count() - 2);
     r.p_value = (a.mean() == b.mean()) ? 1.0 : 0.0;
     r.significant_at_05 = a.mean() != b.mean();
@@ -201,16 +263,16 @@ WelchResult welch_t_test(const RunningStat& a, const RunningStat& b) {
 }
 
 double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
   double log_sum = 0.0;
-  std::size_t n = 0;
   for (double v : values) {
-    if (v > 0.0) {
-      log_sum += std::log(v);
-      ++n;
-    }
+    // A single non-positive value (a crashed benchmark's speedup is 0)
+    // zeroes the whole geometric mean; skipping it would silently inflate
+    // the summary.
+    if (!(v > 0.0)) return 0.0;
+    log_sum += std::log(v);
   }
-  if (n == 0) return 0.0;
-  return std::exp(log_sum / static_cast<double>(n));
+  return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
 }  // namespace jat

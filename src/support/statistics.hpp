@@ -18,6 +18,13 @@ class RunningStat {
   void add(double x);
   void merge(const RunningStat& other);
 
+  /// Rebuilds an accumulator from serialized moments (count, mean, and the
+  /// Welford sum of squared deviations). Order statistics are not
+  /// recoverable from moments, so min/max collapse to the mean; everything
+  /// the t-machinery consumes (count, mean, variance, sem) is exact. Used
+  /// to carry incumbent statistics across the sandbox process boundary.
+  static RunningStat from_moments(std::size_t n, double mean, double m2);
+
   std::size_t count() const { return n_; }
   bool empty() const { return n_ == 0; }
   double mean() const { return n_ > 0 ? mean_ : 0.0; }
@@ -28,6 +35,9 @@ class RunningStat {
   double max() const { return n_ > 0 ? max_ : 0.0; }
   /// Standard error of the mean; 0 for fewer than two samples.
   double sem() const;
+  /// Welford sum of squared deviations (the raw second moment carried by
+  /// from_moments); exposed for serialization, not for direct use.
+  double m2() const { return n_ > 0 ? m2_ : 0.0; }
 
  private:
   std::size_t n_ = 0;
@@ -68,7 +78,11 @@ struct WelchResult {
 /// Welch's unequal-variance t-test for difference in means.
 WelchResult welch_t_test(const RunningStat& a, const RunningStat& b);
 
-/// Two-sided critical t value at 95% for the given degrees of freedom.
+/// Two-sided critical t value at 95% for the given degrees of freedom:
+/// the exact inverse of student_t_two_sided_p(t, dof) = 0.05, found by
+/// bisection (the classic textbook table only seeds the bracket). Integer
+/// dof up to 64 — the sizes the harness actually uses — are served from a
+/// precomputed cache.
 double t_critical_95(double dof);
 
 /// Two-sided p-value of Student's t statistic at `dof` degrees of freedom,
@@ -78,7 +92,10 @@ double t_critical_95(double dof);
 /// (n = 3..5 repetitions) the harness actually uses.
 double student_t_two_sided_p(double t, double dof);
 
-/// Geometric mean of strictly positive values (others skipped); 0 if none.
+/// Geometric mean of a sample of ratios/speedups. Any non-positive value
+/// zeroes the result (a crashed benchmark contributes speedup 0, and the
+/// geometric mean of a set containing 0 is 0 — silently skipping it would
+/// inflate suite-level summaries). Empty input yields 0.
 double geometric_mean(const std::vector<double>& values);
 
 }  // namespace jat

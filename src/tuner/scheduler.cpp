@@ -21,13 +21,16 @@ void EvalScheduler::dispatch(Proposal proposal) {
   // Proposal id i commits as ResultDb row db_base_ + i, so the journal
   // record at that index — when one exists — already holds its result.
   flight.replay = db_base_ + flight.id < ctx_->replay_total();
+  if (!flight.replay && ctx_->measurement_policy().adaptive) {
+    flight.hints.incumbent = ctx_->incumbent_snapshot();
+  }
   if (ThreadPool* pool = ctx_->pool(); pool != nullptr && !flight.replay) {
     // The lambda must not touch the InFlight entry (the deque reallocates);
-    // copy the configuration into the task.
+    // copy the configuration and hints into the task.
     Configuration config = flight.config;
     flight.pending = pool->submit(
-        [this, config = std::move(config)]() mutable {
-          return ctx_->measure_only(config);
+        [this, config = std::move(config), hints = flight.hints]() mutable {
+          return ctx_->measure_only(config, hints);
         });
   }
   if (ctx_->tracing()) {
@@ -48,10 +51,12 @@ void EvalScheduler::deliver(SearchStrategy& strategy) {
   ++inflight_samples_;
   InFlight flight = std::move(window_.front());
   window_.pop_front();
-  const TuningContext::MeasuredEval result =
-      flight.replay         ? ctx_->replay_next(flight.config)
+  TuningContext::MeasuredEval result =
+      flight.replay            ? ctx_->replay_next(flight.config)
       : flight.pending.valid() ? flight.pending.get()
-                               : ctx_->measure_only(flight.config);
+                               : ctx_->measure_only(flight.config, flight.hints);
+  // commit() may top up a raced-out result; it updates `result` in place so
+  // the committed ledger below folds in the extra charge.
   const double objective =
       ctx_->commit(flight.config, result, flight.replay, flight.phase);
   committed_spent_ += result.cost;

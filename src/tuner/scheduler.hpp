@@ -73,6 +73,11 @@ class EvalScheduler {
     /// True when this proposal's result is answered from the journal
     /// (resume replay) instead of being measured.
     bool replay = false;
+    /// Evaluation hints snapshotted at dispatch time on the control thread
+    /// (incumbent statistics for adaptive racing). Captured at dispatch —
+    /// not at execution — so the measurement's racing decisions depend only
+    /// on the deterministic dispatch order, never on eval_threads timing.
+    EvalHints hints;
     /// Valid when a pool dispatched the measurement; otherwise the
     /// evaluation runs inline at delivery time (same trajectory either
     /// way — see the determinism contract in strategy.hpp).

@@ -40,6 +40,11 @@ JournalMeta TuningSession::journal_meta(const std::string& tuner_name) const {
   meta.eval_threads = options_.eval_threads;
   meta.per_run_overhead_s = options_.per_run_overhead_s;
   meta.racing_factor = options_.racing_factor;
+  meta.adaptive = options_.measurement.adaptive;
+  meta.min_reps = options_.measurement.min_reps;
+  meta.max_reps = options_.measurement.max_reps;
+  meta.ci_rel = options_.measurement.ci_rel;
+  meta.race_p = options_.measurement.race_p;
   meta.space_fingerprint = space_fingerprint(space.registry());
   meta.resilient = options_.resilient;
   meta.fault_fingerprint = fault_options_fingerprint(options_.fault_injection);
@@ -54,6 +59,7 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   runner_options.seed = options_.seed;
   runner_options.per_run_overhead_s = options_.per_run_overhead_s;
   runner_options.racing_factor = options_.racing_factor;
+  runner_options.policy = options_.measurement;
   BenchmarkRunner runner(*simulator_, workload_, runner_options);
   runner.set_cancellation(options_.cancel);
   const SearchSpace space(FlagHierarchy::hotspot());
@@ -111,6 +117,7 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
                     .with("eval_threads",
                           static_cast<std::int64_t>(options_.eval_threads))
                     .with("resilient", options_.resilient)
+                    .with("adaptive", options_.measurement.adaptive)
                     .with("resumed", resuming));
   }
 
@@ -143,6 +150,7 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
 
   Rng rng(mix64(options_.seed, fnv1a64(strategy.name())));
   TuningContext ctx(*evaluator, budget, *db, space, rng, pool.get(), trace);
+  ctx.set_measurement_policy(options_.measurement);
   ctx.set_journal(journal);
   ctx.set_cancellation(options_.cancel);
   if (resuming) {
@@ -165,7 +173,7 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   ctx.set_phase("default");
   const Configuration defaults(space.registry());
   const bool base_replayed = ctx.replaying();
-  const TuningContext::MeasuredEval base =
+  TuningContext::MeasuredEval base =
       base_replayed ? ctx.replay_next(defaults) : ctx.measure_only(defaults);
   const double default_ms = ctx.commit(defaults, base, base_replayed);
   if (trace != nullptr) {
@@ -214,6 +222,7 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   validation_options.seed = mix64(options_.seed, fnv1a64("validation"));
   validation_options.repetitions = std::max(5, options_.repetitions);
   validation_options.racing_factor = 0.0;  // full repetitions when it counts
+  validation_options.policy = MeasurementPolicyOptions{};  // no early stops
   BenchmarkRunner validator(*simulator_, workload_, validation_options);
   Configuration best_config = ctx.best_config();
   const double search_best_ms = ctx.best_objective();

@@ -46,6 +46,15 @@ struct SessionOptions {
   /// Racing factor forwarded to the search runner (see RunnerOptions);
   /// the validation pass always uses full repetitions regardless.
   double racing_factor = 0.0;
+  /// Confidence-driven adaptive measurement policy (see
+  /// harness/measure_policy.hpp). With `adaptive` off (default) sessions
+  /// are bit-identical to fixed-repetition behaviour. When on,
+  /// `measurement.max_reps` replaces `repetitions` as the per-candidate
+  /// cap, stopping early on CI convergence or a Welch racing cut against
+  /// the incumbent; raced-out winners are topped up to convergence before
+  /// they can take the incumbency. The validation pass always measures
+  /// with the policy disabled (full repetitions when it counts).
+  MeasurementPolicyOptions measurement;
   /// Injected-fault model layered over the search runner (all rates zero =
   /// no injection). The validation pass always runs on a clean harness:
   /// it models re-measuring the winner once the infrastructure recovered.

@@ -50,7 +50,8 @@ std::vector<double> SuiteRunner::measure_each(const Configuration& config,
 }
 
 Measurement SuiteRunner::measure(const Configuration& config,
-                                 BudgetClock* budget) {
+                                 BudgetClock* budget,
+                                 const EvalHints& /*hints*/) {
   Measurement m;
   m.config_fingerprint = config.fingerprint();
   double log_sum = 0;
@@ -107,6 +108,11 @@ JournalMeta SuiteTuningSession::journal_meta(
   meta.eval_threads = options_.eval_threads;
   meta.per_run_overhead_s = options_.per_run_overhead_s;
   meta.racing_factor = 0.0;  // the suite runner does not race
+  meta.adaptive = options_.measurement.adaptive;
+  meta.min_reps = options_.measurement.min_reps;
+  meta.max_reps = options_.measurement.max_reps;
+  meta.ci_rel = options_.measurement.ci_rel;
+  meta.race_p = options_.measurement.race_p;
   meta.space_fingerprint = space_fingerprint(space.registry());
   meta.resilient = false;
   meta.fault_fingerprint = 0;
@@ -120,6 +126,9 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
   runner_options.repetitions = options_.repetitions;
   runner_options.seed = options_.seed;
   runner_options.per_run_overhead_s = options_.per_run_overhead_s;
+  // Members converge individually under the policy (CI stop only — no
+  // incumbent hints cross the suite boundary; see SuiteRunner::measure).
+  runner_options.policy = options_.measurement;
   SuiteRunner runner(*simulator_, workloads_, runner_options);
   runner.set_cancellation(options_.cancel);
 
@@ -157,6 +166,10 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
 
   Rng rng(mix64(options_.seed, fnv1a64("suite:" + strategy.name())));
   TuningContext ctx(*evaluator, budget, *db, space, rng, pool.get());
+  // The suite objective is a single score (one "repetition"), so adaptive
+  // racing/top-up never engages at the suite level; recording the policy on
+  // the context keeps journal metadata and session behaviour aligned.
+  ctx.set_measurement_policy(options_.measurement);
   ctx.set_journal(journal);
   ctx.set_cancellation(options_.cancel);
   if (resuming) ctx.set_replay(&journal->committed());
@@ -164,7 +177,7 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
   ctx.set_phase("default");
   const Configuration defaults(space.registry());
   const bool base_replayed = ctx.replaying();
-  const TuningContext::MeasuredEval base =
+  TuningContext::MeasuredEval base =
       base_replayed ? ctx.replay_next(defaults) : ctx.measure_only(defaults);
   ctx.commit(defaults, base, base_replayed);  // score 1000 by construction
 
@@ -184,6 +197,7 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
   RunnerOptions validation_options = runner_options;
   validation_options.seed = mix64(options_.seed, fnv1a64("validation"));
   validation_options.repetitions = std::max(5, options_.repetitions);
+  validation_options.policy = MeasurementPolicyOptions{};  // no early stops
   SuiteRunner validator(*simulator_, workloads_, validation_options);
 
   Configuration best_config = ctx.best_config();

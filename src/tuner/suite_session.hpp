@@ -27,7 +27,13 @@ class SuiteRunner : public Evaluator {
   SuiteRunner(const JvmSimulator& simulator,
               std::vector<WorkloadSpec> workloads, RunnerOptions options = {});
 
-  Measurement measure(const Configuration& config, BudgetClock* budget) override;
+  /// `hints` affects only per-member convergence: the suite objective is a
+  /// normalised score (not milliseconds), so the incumbent snapshot is
+  /// never forwarded to member runners — units would not match — and suite
+  /// measurements always report StopReason::kFull (no suite-level top-up).
+  Measurement measure(const Configuration& config, BudgetClock* budget,
+                      const EvalHints& hints) override;
+  using Evaluator::measure;
 
   /// Forwards a cancellation token to every member runner (see
   /// BenchmarkRunner::set_cancellation).

@@ -29,10 +29,19 @@ void TuningContext::set_phase(std::string phase) {
 }
 
 TuningContext::MeasuredEval TuningContext::measure_only(
-    const Configuration& config) {
+    const Configuration& config, const EvalHints& hints) {
   MeteredBudget meter(budget_);
-  Measurement measurement = evaluator_->measure(config, &meter);
+  Measurement measurement = evaluator_->measure(config, &meter, hints);
   return MeasuredEval{std::move(measurement), meter.metered()};
+}
+
+IncumbentSnapshot TuningContext::incumbent_snapshot() const {
+  std::lock_guard lock(mutex_);
+  IncumbentSnapshot snapshot;
+  snapshot.count = incumbent_stat_.count();
+  snapshot.mean = incumbent_stat_.mean();
+  snapshot.m2 = incumbent_stat_.m2();
+  return snapshot;
 }
 
 std::string TuningContext::resolve_phase(const std::string& phase) const {
@@ -48,7 +57,7 @@ double TuningContext::record(const Configuration& config,
   const std::string label = resolve_phase(phase);
   db_->record(fingerprint, objective, budget_->spent(),
               config.render_command_line(), label, m.fault, m.crash_reason,
-              m.attempts);
+              m.attempts, m.stop);
   if (trace_ != nullptr) {
     trace_->emit(TraceEvent("eval", budget_->spent())
                      .with("fingerprint", fingerprint_hex(fingerprint))
@@ -57,23 +66,73 @@ double TuningContext::record(const Configuration& config,
                      .with("fault", std::string(to_string(m.fault)))
                      .with("attempts", static_cast<std::int64_t>(m.attempts)));
     trace_->metrics().add("tuner.evaluations");
+    if (m.stop != StopReason::kFull) {
+      trace_->emit(
+          TraceEvent("rep_stop", budget_->spent())
+              .with("fingerprint", fingerprint_hex(fingerprint))
+              .with("stop", std::string(to_string(m.stop)))
+              .with("reps", static_cast<std::int64_t>(m.times_ms.size()))
+              .with("failed_reps", static_cast<std::int64_t>(m.failed_reps)));
+      trace_->metrics().add(std::string("policy.") + to_string(m.stop));
+    }
   }
-  consider(config, fingerprint, objective, label);
+  consider(config, fingerprint, m, label);
   return objective;
 }
 
-double TuningContext::commit(const Configuration& config,
-                             const MeasuredEval& eval, bool replayed,
-                             const std::string& phase) {
+double TuningContext::commit(const Configuration& config, MeasuredEval& eval,
+                             bool replayed, const std::string& phase) {
   const std::string label = resolve_phase(phase);
+  MeasuredEval& applied = eval;
+  // Top-up: a raced-out measurement was cut short *because* it looked worse
+  // than the incumbent at the time — but if it still displaces the incumbent
+  // at commit time, promoting the truncated (biased-small) sample would bias
+  // the search. Re-measure to convergence before accepting it. The decision
+  // reads only committed control-thread state (never the live clock), so the
+  // trajectory stays deterministic across eval_threads; the merged result is
+  // journaled, so a replayed commit never re-tops-up.
+  if (!replayed && policy_.adaptive && applied.measurement.valid() &&
+      applied.measurement.stop == StopReason::kRacedOut) {
+    bool candidate;
+    EvalHints hints;
+    {
+      std::lock_guard lock(mutex_);
+      candidate = improves_locked(applied.measurement.objective(),
+                                  config.fingerprint());
+      hints.incumbent.count = incumbent_stat_.count();
+      hints.incumbent.mean = incumbent_stat_.mean();
+      hints.incumbent.m2 = incumbent_stat_.m2();
+    }
+    if (candidate) {
+      hints.top_up = true;
+      MeteredBudget meter(budget_);
+      Measurement extended = evaluator_->measure(config, &meter, hints);
+      applied.cost += meter.metered();
+      if (trace_ != nullptr) {
+        const std::int64_t added =
+            static_cast<std::int64_t>(extended.times_ms.size()) -
+            static_cast<std::int64_t>(applied.measurement.times_ms.size());
+        trace_->emit(
+            TraceEvent("topup", budget_->spent())
+                .with("fingerprint", fingerprint_hex(config.fingerprint()))
+                .with("added_reps", std::max<std::int64_t>(0, added))
+                .with("objective_ms", extended.objective())
+                .with("stop", std::string(to_string(extended.stop))));
+        trace_->metrics().add("policy.topups");
+      }
+      // An injected fault can lose the continuation; keep the partial
+      // measurement rather than replacing a valid result with a crash.
+      if (extended.valid()) applied.measurement = std::move(extended);
+    }
+  }
   if (journal_ != nullptr && !replayed) {
     // WAL order: the record is durable before the result mutates any state.
     // A crash between the append and the apply merely replays it on resume.
     journal_->append(make_journal_eval(static_cast<std::int64_t>(db_->size()),
-                                       config, eval.measurement, eval.cost,
-                                       budget_->spent(), label));
+                                       config, applied.measurement,
+                                       applied.cost, budget_->spent(), label));
   }
-  return record(config, eval.measurement, label);
+  return record(config, applied.measurement, label);
 }
 
 TuningContext::MeasuredEval TuningContext::replay_next(
@@ -95,7 +154,9 @@ TuningContext::MeasuredEval TuningContext::replay_next(
 }
 
 double TuningContext::evaluate(const Configuration& config) {
-  const Measurement m = evaluator_->measure(config, budget_);
+  EvalHints hints;
+  if (policy_.adaptive) hints.incumbent = incumbent_snapshot();
+  const Measurement m = evaluator_->measure(config, budget_, hints);
   return record(config, m);
 }
 
@@ -144,23 +205,34 @@ double TuningContext::best_objective() const {
   return best_objective_;
 }
 
+bool TuningContext::improves_locked(double objective,
+                                    std::uint64_t fingerprint) const {
+  // Strict lexicographic (objective, fingerprint) order: among equal
+  // objectives the lowest fingerprint wins, so the incumbent after a
+  // parallel batch is independent of completion order (the reduction is a
+  // commutative min).
+  return !best_config_.has_value() || objective < best_objective_ ||
+         (objective == best_objective_ && fingerprint < best_fingerprint_);
+}
+
 void TuningContext::consider(const Configuration& config,
-                             std::uint64_t fingerprint, double objective,
+                             std::uint64_t fingerprint,
+                             const Measurement& measurement,
                              const std::string& phase) {
+  const double objective = measurement.objective();
   bool improved = false;
   {
     std::lock_guard lock(mutex_);
-    // Strict lexicographic (objective, fingerprint) order: among equal
-    // objectives the lowest fingerprint wins, so the incumbent after a
-    // parallel batch is independent of completion order (the reduction is a
-    // commutative min).
-    const bool better =
-        !best_config_.has_value() || objective < best_objective_ ||
-        (objective == best_objective_ && fingerprint < best_fingerprint_);
-    if (better) {
+    if (improves_locked(objective, fingerprint)) {
       best_config_ = config;
       best_objective_ = objective;
       best_fingerprint_ = fingerprint;
+      // Rebuild the incumbent's per-repetition statistics from the winning
+      // measurement so racing hints always compare against the *current*
+      // incumbent's sample (journal replay restores times_ms, so a resumed
+      // session rebuilds the identical snapshot).
+      incumbent_stat_ = RunningStat();
+      for (const double t : measurement.times_ms) incumbent_stat_.add(t);
       improved = true;
     }
   }

@@ -10,10 +10,12 @@
 #include "flags/configuration.hpp"
 #include "harness/budget.hpp"
 #include "harness/journal.hpp"
+#include "harness/measure_policy.hpp"
 #include "harness/result_db.hpp"
 #include "harness/evaluator.hpp"
 #include "harness/runner.hpp"
 #include "support/cancellation.hpp"
+#include "support/statistics.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -87,7 +89,15 @@ class TuningContext {
   /// Measures without recording: safe to call from worker threads. The
   /// returned cost is the exact budget charge of this measurement (metered
   /// through every evaluator layer).
-  MeasuredEval measure_only(const Configuration& config);
+  MeasuredEval measure_only(const Configuration& config) {
+    return measure_only(config, EvalHints{});
+  }
+  /// Like measure_only(), forwarding `hints` (incumbent snapshot / top-up
+  /// request) to the evaluator chain. The scheduler captures hints at
+  /// dispatch time on the control thread, so the racing decisions inside a
+  /// measurement are independent of eval_threads.
+  MeasuredEval measure_only(const Configuration& config,
+                            const EvalHints& hints);
 
   /// Records a completed measurement: ResultDb row, eval trace event, and
   /// the incumbent update. Called on the scheduler's control thread so row
@@ -101,8 +111,32 @@ class TuningContext {
   /// evaluations came *from* the journal and are not re-journaled. This is
   /// the scheduler's commit point; record() remains for paths without a
   /// journal.
-  double commit(const Configuration& config, const MeasuredEval& eval,
+  ///
+  /// Under an adaptive measurement policy, a raced-out measurement that
+  /// would displace the incumbent is first *topped up*: re-measured to
+  /// convergence (the runner continues from the cached partial, merging
+  /// repetitions) so the racing cut never biases the incumbent. The merged
+  /// result is what gets journaled, and `eval` is updated in place (merged
+  /// measurement, top-up cost folded in) so the caller's cost ledger stays
+  /// exact. Replayed commits never top up — the journal already holds the
+  /// merged record.
+  double commit(const Configuration& config, MeasuredEval& eval,
                 bool replayed, const std::string& phase = std::string());
+
+  // ---- adaptive measurement policy (owned by the session) ----
+
+  /// Installs the session's measurement policy. With `adaptive` off
+  /// (default) the context never forwards incumbent hints and never tops
+  /// up, so behaviour is bit-identical to the fixed-repetition harness.
+  void set_measurement_policy(const MeasurementPolicyOptions& policy) {
+    policy_ = policy;
+  }
+  const MeasurementPolicyOptions& measurement_policy() const { return policy_; }
+
+  /// Snapshot of the incumbent's per-repetition running statistics, for
+  /// racing comparisons inside adaptive measurements. Unusable (count 0)
+  /// until an incumbent with at least one successful repetition exists.
+  IncumbentSnapshot incumbent_snapshot() const;
 
   // ---- durability & cancellation wiring (owned by the session) ----
 
@@ -135,7 +169,10 @@ class TuningContext {
 
  private:
   void consider(const Configuration& config, std::uint64_t fingerprint,
-                double objective, const std::string& phase);
+                const Measurement& measurement, const std::string& phase);
+  /// True (under mutex_) when `objective` would displace the incumbent
+  /// under the lexicographic (objective, fingerprint) order.
+  bool improves_locked(double objective, std::uint64_t fingerprint) const;
   std::string resolve_phase(const std::string& phase) const;
 
   Evaluator* evaluator_;
@@ -158,6 +195,10 @@ class TuningContext {
   /// wins, so parallel batch reduction is order-independent (the incumbent
   /// after a batch does not depend on completion order).
   std::uint64_t best_fingerprint_;
+  /// Per-repetition running statistics of the incumbent's measurement,
+  /// rebuilt whenever the incumbent changes; feeds incumbent_snapshot().
+  RunningStat incumbent_stat_;
+  MeasurementPolicyOptions policy_;
 };
 
 /// The legacy synchronous search interface. tune() runs until the budget is

@@ -129,7 +129,8 @@ TEST(ResultDb, CsvAndCountersCarryFaultTaxonomy) {
   std::ifstream in(path);
   std::string content((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
-  EXPECT_NE(content.find(",fault,attempts,crash_reason,"), std::string::npos);
+  EXPECT_NE(content.find(",fault,stop,attempts,crash_reason,"),
+            std::string::npos);
   EXPECT_NE(content.find("timeout"), std::string::npos);
   EXPECT_NE(content.find("harness timeout"), std::string::npos);
 }
@@ -154,17 +155,19 @@ TEST(ResultDb, SaveCsvRoundTripsHostileStrings) {
   const std::vector<std::string> header = {
       "index",       "fingerprint", "objective_ms",
       "budget_spent_s", "phase",    "fault",
-      "attempts",    "crash_reason", "command_line"};
+      "stop",        "attempts",    "crash_reason",
+      "command_line"};
   EXPECT_EQ(rows[0], header);
   ASSERT_EQ(rows[1].size(), header.size());
   EXPECT_EQ(rows[1][0], "0");
   EXPECT_EQ(rows[1][1], "42");
   EXPECT_EQ(rows[1][4], phase);
-  EXPECT_EQ(rows[1][7], reason);
-  EXPECT_EQ(rows[1][8], flags);
+  EXPECT_EQ(rows[1][6], "full");
+  EXPECT_EQ(rows[1][8], reason);
+  EXPECT_EQ(rows[1][9], flags);
   ASSERT_EQ(rows[2].size(), header.size());
-  EXPECT_EQ(rows[2][7], "");
   EXPECT_EQ(rows[2][8], "");
+  EXPECT_EQ(rows[2][9], "");
 }
 
 // ---- BenchmarkRunner ---------------------------------------------------------

@@ -41,6 +41,7 @@ TEST_F(RacingTest, DisabledByDefaultRunsAllRepetitions) {
   runner.measure(Configuration(FlagRegistry::hotspot()));
   const Measurement m = runner.measure(slow);
   EXPECT_EQ(m.times_ms.size(), 3u);
+  EXPECT_EQ(m.stop, StopReason::kFull);
 }
 
 TEST_F(RacingTest, AbandonsClearLosersAfterOneRep) {
@@ -54,6 +55,7 @@ TEST_F(RacingTest, AbandonsClearLosersAfterOneRep) {
   const Measurement m = runner.measure(slow);
   ASSERT_TRUE(m.valid());
   EXPECT_EQ(m.times_ms.size(), 1u);  // raced out
+  EXPECT_EQ(m.stop, StopReason::kRacedOut);
   EXPECT_GT(m.objective(), base.objective());
 }
 

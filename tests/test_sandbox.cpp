@@ -277,6 +277,43 @@ TEST_F(SandboxTest, SessionOutcomeIsBitIdenticalWithoutFaults) {
   EXPECT_EQ(piped.cache_hits, expected.cache_hits);
 }
 
+// The adaptive measurement policy crosses the process boundary whole:
+// incumbent snapshots ride the request frame, stop reasons ride the reply,
+// and top-ups route to the worker holding the cached partial — so the
+// sandboxed trajectory matches the in-process one bit for bit, policy on.
+TEST_F(SandboxTest, AdaptivePolicySessionMatchesInProcessBitForBit) {
+  auto run_session = [&](bool sandboxed) {
+    SessionOptions options;
+    options.budget = SimTime::minutes(12);
+    options.seed = 41;
+    options.sandbox = sandboxed;
+    options.sandbox_options.workers = 3;
+    options.measurement.adaptive = true;
+    options.measurement.max_reps = 6;
+    options.measurement.ci_rel = 0.02;
+    options.measurement.race_p = 0.05;
+    TuningSession session(sim_, workload_, options);
+    HierarchicalTuner tuner;
+    return session.run(tuner);
+  };
+  const TuningOutcome expected = run_session(false);
+  const TuningOutcome sandboxed = run_session(true);
+  ASSERT_EQ(sandboxed.db->size(), expected.db->size());
+  for (std::size_t i = 0; i < expected.db->size(); ++i) {
+    const EvalRecord a = expected.db->get(i);
+    const EvalRecord b = sandboxed.db->get(i);
+    EXPECT_EQ(b.fingerprint, a.fingerprint) << "row " << i;
+    EXPECT_EQ(b.objective_ms, a.objective_ms) << "row " << i;
+    EXPECT_EQ(b.budget_spent, a.budget_spent) << "row " << i;
+    EXPECT_EQ(b.stop, a.stop) << "row " << i;
+  }
+  EXPECT_EQ(sandboxed.best_ms, expected.best_ms);
+  EXPECT_EQ(sandboxed.best_config.fingerprint(),
+            expected.best_config.fingerprint());
+  EXPECT_EQ(sandboxed.runs, expected.runs);
+  EXPECT_EQ(sandboxed.budget_spent, expected.budget_spent);
+}
+
 TEST_F(SandboxTest, FaultInjectedSessionCompletesWithEveryFailureClassified) {
   SessionOptions options;
   options.budget = SimTime::minutes(15);

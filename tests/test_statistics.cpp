@@ -114,6 +114,29 @@ TEST(TCritical, TableAnchors) {
   EXPECT_NEAR(t_critical_95(30), 2.042, 1e-3);
 }
 
+// The coarse table is gone: t_critical_95 now inverts the exact two-sided
+// p-function by bisection, so values match published criticals to far more
+// digits than the old 3-decimal table — including dof the table never had.
+TEST(TCritical, ExactInversionMatchesPublishedValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.7062047, 1e-6);
+  EXPECT_NEAR(t_critical_95(2), 4.3026527, 1e-6);
+  EXPECT_NEAR(t_critical_95(5), 2.5705818, 1e-6);
+  EXPECT_NEAR(t_critical_95(30), 2.0422725, 1e-6);
+  // Off-table dof used to fall back to coarse interpolation.
+  EXPECT_NEAR(t_critical_95(45), 2.0141034, 1e-6);
+  EXPECT_NEAR(t_critical_95(200), 1.9718962, 1e-6);
+}
+
+// Round-trip invariant: p(t_crit(dof), dof) == 0.05 for every dof, which is
+// the defining property of the critical value (the table could only satisfy
+// it approximately).
+TEST(TCritical, RoundTripsThroughStudentTP) {
+  for (const double dof : {1.0, 2.0, 3.5, 7.0, 12.0, 64.0, 65.0, 333.0}) {
+    EXPECT_NEAR(student_t_two_sided_p(t_critical_95(dof), dof), 0.05, 1e-9)
+        << "dof=" << dof;
+  }
+}
+
 TEST(WelchTTest, InsufficientSamples) {
   RunningStat a;
   RunningStat b;
@@ -170,6 +193,27 @@ TEST(WelchTTest, ZeroVarianceDifferentMeans) {
   const WelchResult r = welch_t_test(a, b);
   EXPECT_TRUE(r.significant_at_05);
   EXPECT_EQ(r.p_value, 0.0);
+}
+
+// Regression: the zero-variance branch used to report the arbitrary
+// sentinel t = 1e9. Two identical-variance samples with different means are
+// infinitely separated in t units — the statistic is now a signed infinity,
+// not a magic number downstream code could mistake for a real value.
+TEST(WelchTTest, ZeroVarianceTStatisticIsSignedInfinity) {
+  RunningStat lo;
+  RunningStat hi;
+  for (int i = 0; i < 5; ++i) {
+    lo.add(3.0);
+    hi.add(4.0);
+  }
+  const WelchResult below = welch_t_test(lo, hi);
+  EXPECT_TRUE(std::isinf(below.t));
+  EXPECT_LT(below.t, 0.0);  // lo below hi
+  const WelchResult above = welch_t_test(hi, lo);
+  EXPECT_TRUE(std::isinf(above.t));
+  EXPECT_GT(above.t, 0.0);
+  EXPECT_EQ(below.p_value, 0.0);
+  EXPECT_EQ(above.p_value, 0.0);
 }
 
 TEST(StudentTTwoSidedP, TableAnchors) {
@@ -238,8 +282,11 @@ TEST(GeometricMean, Basics) {
   EXPECT_EQ(geometric_mean({-1.0, 0.0}), 0.0);
   EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
   EXPECT_NEAR(geometric_mean({5.0}), 5.0, 1e-12);
-  // Non-positive entries are skipped, not zeroing the result.
-  EXPECT_NEAR(geometric_mean({0.0, 4.0, 9.0}), 6.0, 1e-12);
+  // Any non-positive entry zeroes the result — the geometric mean of a set
+  // containing zero is zero, and silently skipping entries would overstate
+  // the mean of the values that remain.
+  EXPECT_EQ(geometric_mean({0.0, 4.0, 9.0}), 0.0);
+  EXPECT_EQ(geometric_mean({4.0, -2.0, 9.0}), 0.0);
 }
 
 // Property: summarize() mean/stddev agree with RunningStat for random data.

@@ -87,6 +87,15 @@ void usage() {
       "                      (deterministic crash injection for recovery tests)\n"
       "  --replay FILE       re-measure a saved .flags file on --workload\n"
       "  --racing            abandon clearly-losing candidates after 1 rep\n"
+      "  --adaptive-reps N   confidence-driven repetitions: stop a candidate\n"
+      "                      early once its CI95 converges, abandon it when a\n"
+      "                      Welch test says it is worse than the incumbent,\n"
+      "                      cap at N reps; raced-out winners are topped up\n"
+      "                      to convergence before taking the incumbency\n"
+      "  --ci-rel X          CI95 half-width <= X * mean stops a candidate\n"
+      "                      (default 0.02; needs --adaptive-reps)\n"
+      "  --race-p P          Welch p-value below which a slower candidate is\n"
+      "                      abandoned (default 0.05; needs --adaptive-reps)\n"
       "  --resilient         retry/quarantine/circuit-breaker layer between\n"
       "                      tuner and evaluator\n"
       "  --sandbox           run every measurement in a forked worker process:\n"
@@ -326,6 +335,13 @@ int main(int argc, char** argv) {
       journal_options.crash_after_appends = std::atoi(next());
     } else if (arg == "--racing") {
       options.racing_factor = 1.3;
+    } else if (arg == "--adaptive-reps") {
+      options.measurement.adaptive = true;
+      options.measurement.max_reps = std::atoi(next());
+    } else if (arg == "--ci-rel") {
+      options.measurement.ci_rel = std::atof(next());
+    } else if (arg == "--race-p") {
+      options.measurement.race_p = std::atof(next());
     } else if (arg == "--resilient") {
       options.resilient = true;
     } else if (arg == "--sandbox") {
@@ -439,6 +455,11 @@ int main(int argc, char** argv) {
       options.inflight = meta.inflight;
       options.per_run_overhead_s = meta.per_run_overhead_s;
       options.racing_factor = meta.racing_factor;
+      options.measurement.adaptive = meta.adaptive;
+      options.measurement.min_reps = meta.min_reps;
+      options.measurement.max_reps = meta.max_reps;
+      options.measurement.ci_rel = meta.ci_rel;
+      options.measurement.race_p = meta.race_p;
       if (!threads_set) options.eval_threads = meta.eval_threads;
       if (meta.kind == "suite") {
         suite = suite_name_for(meta.workload);
