@@ -1,0 +1,123 @@
+// T12 (extension) — pluggable objectives: what you tune for decides what
+// you get.
+//
+// The paper tunes run time; real JVM deployments tune for pause time,
+// footprint, or throughput just as often. This bench runs the hierarchical
+// tuner on a GC-bound workload (lusearch: 1.4 MB/unit of short-lived
+// allocation across 16 threads) once per built-in objective, then
+// re-measures every winner with a fresh-seeded probe runner and reports
+// each winner's run time, max GC pause, and peak heap side by side.
+// Expected shape: the objectives crown *different* winners — in particular
+// the pause_max winner's measured max pause beats the run_time winner's
+// (it trades run time for shorter pauses), and the footprint winner holds
+// the smallest heap. The composite objective lands between the run_time
+// and pause_max extremes: run time is still the target, but pauses beyond
+// the limit are charged against it.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/objective.hpp"
+#include "harness/runner.hpp"
+#include "support/units.hpp"
+#include "workloads/suites.hpp"
+
+namespace {
+
+using namespace jat;
+
+/// Mean of one metric over a measurement's per-repetition rows.
+double metric_mean(const Measurement& m, MetricId id) {
+  if (m.rep_metrics.empty()) return 0.0;
+  double sum = 0.0;
+  for (const MetricVector& rep : m.rep_metrics) sum += rep[id];
+  return sum / static_cast<double>(m.rep_metrics.size());
+}
+
+struct ObjectivePoint {
+  std::string id;
+  const char* unit = "ms";
+  std::uint64_t winner = 0;       ///< winning configuration fingerprint
+  double validated_value = 0.0;   ///< objective value of the winner
+  double run_ms = 0.0;            ///< probe: mean total run time
+  double pause_ms = 0.0;          ///< probe: mean per-rep max GC pause
+  double heap_mb = 0.0;           ///< probe: mean peak heap occupancy
+  std::string flags;
+};
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::scale_from_env();
+  set_log_level(LogLevel::kWarn);
+
+  const std::vector<std::string> specs = {
+      "run_time", "pause_max", "footprint", "throughput",
+      "composite:pause_limit_ms=20,penalty=10"};
+
+  JvmSimulator simulator;
+  const WorkloadSpec& workload = find_workload("lusearch");
+
+  // The probe runner re-measures every winner under identical, fresh-seeded
+  // conditions, so the side-by-side metric columns are comparable across
+  // objectives (each session's own validation pass uses its own objective).
+  RunnerOptions probe_options;
+  probe_options.repetitions = std::max(5, scale.repetitions);
+  probe_options.seed = mix64(2015, fnv1a64("t12-probe"));
+  BenchmarkRunner probe(simulator, workload, probe_options);
+
+  std::vector<ObjectivePoint> points;
+  for (const std::string& spec : specs) {
+    const std::shared_ptr<const Objective> objective = make_objective(spec);
+    SessionOptions options = bench::session_options(scale);
+    options.objective = objective;
+    TuningSession session(simulator, workload, options);
+    HierarchicalTuner tuner;
+    const TuningOutcome outcome = session.run(tuner);
+
+    ObjectivePoint point;
+    point.id = objective->id();
+    point.unit = objective->unit();
+    point.winner = outcome.best_config.fingerprint();
+    point.validated_value = outcome.best_ms;
+    const Measurement m = probe.measure(outcome.best_config);
+    point.run_ms = metric_mean(m, MetricId::kTotalTimeMs);
+    point.pause_ms = metric_mean(m, MetricId::kGcPauseMaxMs);
+    point.heap_mb = metric_mean(m, MetricId::kPeakHeapMb);
+    point.flags = outcome.best_config.changed_flags().empty()
+                      ? "(defaults)"
+                      : outcome.best_config.render_command_line();
+    points.push_back(std::move(point));
+  }
+
+  TextTable table({"objective", "validated", "run_ms", "pause_max_ms",
+                   "peak_heap_mb", "winning flags"});
+  for (const ObjectivePoint& p : points) {
+    table.add_row({p.id, fmt(p.validated_value, 1) + " " + p.unit,
+                   fmt(p.run_ms, 0), fmt(p.pause_ms, 1), fmt(p.heap_mb, 0),
+                   p.flags});
+  }
+  bench::emit("T12: one workload (lusearch, GC-bound), five objectives — "
+              "each crowns its own winner",
+              table, "bench_t12_objectives.csv");
+
+  const ObjectivePoint& run_time = points[0];
+  const ObjectivePoint& pause = points[1];
+  const ObjectivePoint& footprint = points[2];
+  const bool distinct_winner = pause.winner != run_time.winner;
+  const bool pause_beats = pause.pause_ms < run_time.pause_ms;
+  const bool smallest_heap = footprint.heap_mb <= run_time.heap_mb;
+
+  std::printf("expected shape: pause_max finds a different winner than "
+              "run_time and its measured max pause is shorter; footprint "
+              "holds the smallest heap\n");
+  std::printf("checks: distinct pause_max winner %s, pause_max pause "
+              "%.1f ms < run_time winner's %.1f ms %s, footprint heap "
+              "%.0f MB <= run_time winner's %.0f MB %s\n",
+              distinct_winner ? "ok" : "FAILED", pause.pause_ms,
+              run_time.pause_ms, pause_beats ? "ok" : "FAILED",
+              footprint.heap_mb, run_time.heap_mb,
+              smallest_heap ? "ok" : "FAILED");
+  return 0;
+}

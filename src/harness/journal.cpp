@@ -99,9 +99,16 @@ std::vector<double> parse_times(const std::string& text) {
 }
 
 TraceEvent meta_to_event(const JournalMeta& meta) {
-  return TraceEvent("journal_meta")
-      .with("version", static_cast<std::int64_t>(meta.version))
-      .with("kind", meta.kind)
+  TraceEvent event("journal_meta");
+  event.fields.emplace_back("version", static_cast<std::int64_t>(meta.version));
+  event.fields.emplace_back("kind", meta.kind);
+  // The objective field (and the version bump that goes with it) only
+  // appears for non-default objectives: run_time journals remain
+  // byte-identical to the pre-objective format.
+  if (meta.objective != "run_time") {
+    event.fields.emplace_back("objective", meta.objective);
+  }
+  return std::move(event)
       .with("workload", meta.workload)
       .with("tuner", meta.tuner)
       .with("seed", std::to_string(meta.seed))
@@ -125,6 +132,8 @@ JournalMeta meta_from_event(const TraceEvent& event) {
   JournalMeta meta;
   meta.version = static_cast<int>(event.get_int("version", -1));
   meta.kind = event.get_string("kind");
+  // Absent in version-1 journals: they were tuned for run time.
+  meta.objective = event.get_string("objective", "run_time");
   meta.workload = event.get_string("workload");
   meta.tuner = event.get_string("tuner");
   meta.seed = std::strtoull(event.get_string("seed", "0").c_str(), nullptr, 10);
@@ -147,12 +156,33 @@ JournalMeta meta_from_event(const TraceEvent& event) {
   return meta;
 }
 
+/// Row-major rendering of the rep × metric matrix; a flat stream of %.17g
+/// doubles round-trips every bit.
+std::string render_metrics(const std::vector<MetricVector>& rows) {
+  std::string out;
+  for (const MetricVector& row : rows) {
+    for (double value : row.v) {
+      if (!out.empty()) out += ' ';
+      out += render_double(value);
+    }
+  }
+  return out;
+}
+
 TraceEvent eval_to_event(const JournalEval& eval) {
-  return TraceEvent("journal_eval", eval.budget_spent)
-      .with("seq", eval.seq)
-      .with("fingerprint", render_hex(eval.fingerprint))
-      .with("phase", eval.phase)
-      .with("times_ms", render_times(eval.times_ms))
+  TraceEvent event("journal_eval", eval.budget_spent);
+  event.fields.emplace_back("seq", eval.seq);
+  event.fields.emplace_back("fingerprint", render_hex(eval.fingerprint));
+  event.fields.emplace_back("phase", eval.phase);
+  event.fields.emplace_back("times_ms", render_times(eval.times_ms));
+  // Metric rows ride along only under non-run_time objectives (see
+  // make_journal_eval): run_time records keep the version-1 byte layout.
+  if (!eval.rep_metrics.empty()) {
+    event.fields.emplace_back("metric_cols",
+                              static_cast<std::int64_t>(kMetricCount));
+    event.fields.emplace_back("metrics", render_metrics(eval.rep_metrics));
+  }
+  return std::move(event)
       .with("crashed", eval.crashed)
       .with("crash_reason", eval.crash_reason)
       .with("fault", std::string(to_string(eval.fault)))
@@ -164,7 +194,16 @@ TraceEvent eval_to_event(const JournalEval& eval) {
       .with("command_line", eval.command_line);
 }
 
-JournalEval eval_from_event(const TraceEvent& event) {
+JournalEval eval_from_event(const TraceEvent& event, std::size_t line_no,
+                            std::vector<JournalWarning>* warnings) {
+  const auto warn = [&](const char* field, std::string value,
+                        std::string message) {
+    log_warn() << "journal line " << line_no << ": " << message;
+    if (warnings != nullptr) {
+      warnings->push_back(JournalWarning{line_no, field, std::move(value),
+                                         std::move(message)});
+    }
+  };
   JournalEval eval;
   eval.seq = event.get_int("seq", -1);
   eval.fingerprint = parse_hex(event.get_string("fingerprint"));
@@ -172,10 +211,46 @@ JournalEval eval_from_event(const TraceEvent& event) {
   eval.times_ms = parse_times(event.get_string("times_ms"));
   eval.crashed = event.get_bool("crashed");
   eval.crash_reason = event.get_string("crash_reason");
-  eval.fault = fault_class_from_string(event.get_string("fault", "none"));
+  // Unknown labels (a newer writer's taxonomy) still read as clean/full so
+  // the tolerant reader can proceed — but never silently: the warning is
+  // surfaced in SessionJournal::warnings() and the log.
+  bool known = true;
+  const std::string fault_name = event.get_string("fault", "none");
+  eval.fault = fault_class_from_string(fault_name, &known);
+  if (!known) {
+    warn("fault", fault_name,
+         "unknown fault class '" + fault_name + "' read as 'none'");
+  }
   eval.attempts = static_cast<int>(event.get_int("attempts", 1));
   eval.failed_reps = static_cast<int>(event.get_int("failed_reps"));
-  eval.stop = stop_reason_from_string(event.get_string("stop", "full"));
+  const std::string stop_name = event.get_string("stop", "full");
+  eval.stop = stop_reason_from_string(stop_name, &known);
+  if (!known) {
+    warn("stop", stop_name,
+         "unknown stop reason '" + stop_name + "' read as 'full'");
+  }
+  // Metric rows (version >= 2 records under a non-run_time objective).
+  const std::string metrics_text = event.get_string("metrics");
+  if (!metrics_text.empty()) {
+    const auto cols = event.get_int("metric_cols", kMetricCount);
+    const std::vector<double> flat = parse_times(metrics_text);
+    if (cols != kMetricCount ||
+        flat.size() != eval.times_ms.size() * kMetricCount) {
+      warn("metrics", metrics_text,
+           "uninterpretable metric block (cols=" + std::to_string(cols) +
+               ", values=" + std::to_string(flat.size()) +
+               ", reps=" + std::to_string(eval.times_ms.size()) +
+               "); dropped");
+    } else {
+      const auto cols_z = static_cast<std::size_t>(kMetricCount);
+      eval.rep_metrics.resize(eval.times_ms.size());
+      for (std::size_t r = 0; r < eval.rep_metrics.size(); ++r) {
+        for (std::size_t c = 0; c < cols_z; ++c) {
+          eval.rep_metrics[r].v[c] = flat[r * cols_z + c];
+        }
+      }
+    }
+  }
   eval.cost = SimTime::micros(event.get_int("cost_us"));
   eval.budget_spent = SimTime::micros(event.get_int("spent_us"));
   eval.command_line = event.get_string("command_line");
@@ -188,6 +263,7 @@ Measurement JournalEval::to_measurement() const {
   Measurement m;
   m.config_fingerprint = fingerprint;
   m.times_ms = times_ms;
+  m.rep_metrics = rep_metrics;
   m.crashed = crashed;
   m.crash_reason = crash_reason;
   m.fault = fault;
@@ -264,9 +340,14 @@ SessionJournal SessionJournal::resume(const std::string& path,
                              "' holds more than one metadata record");
         }
         JournalMeta meta = meta_from_event(*event);
-        if (meta.version != kVersion) {
+        // Every version up to the writer's own is readable: version 1 is
+        // the metric-less run_time form, version 2 adds the objective
+        // field + metric rows. validate_resume_meta still insists the
+        // *session* agrees with the journaled version (both sides derive
+        // it from the objective id, so a mismatch means a real conflict).
+        if (meta.version < kVersion || meta.version > kVersionObjectives) {
           throw JournalError("version", std::to_string(meta.version),
-                             std::to_string(kVersion));
+                             std::to_string(kVersionObjectives));
         }
         journal.meta_ = std::move(meta);
       } else if (event->type == "journal_eval") {
@@ -274,7 +355,8 @@ SessionJournal SessionJournal::resume(const std::string& path,
           throw JournalError("journal '" + path +
                              "' has an eval record before its metadata");
         }
-        JournalEval eval = eval_from_event(*event);
+        JournalEval eval =
+            eval_from_event(*event, line_no, &journal.warnings_);
         const auto expected =
             static_cast<std::int64_t>(journal.committed_.size());
         if (eval.seq != expected) {
@@ -328,6 +410,7 @@ SessionJournal::SessionJournal(SessionJournal&& other) noexcept
       meta_(std::move(other.meta_)),
       committed_(std::move(other.committed_)),
       dropped_(other.dropped_),
+      warnings_(std::move(other.warnings_)),
       appended_(other.appended_),
       ended_(other.ended_) {}
 
@@ -340,6 +423,7 @@ SessionJournal& SessionJournal::operator=(SessionJournal&& other) noexcept {
     meta_ = std::move(other.meta_);
     committed_ = std::move(other.committed_);
     dropped_ = other.dropped_;
+    warnings_ = std::move(other.warnings_);
     appended_ = other.appended_;
     ended_ = other.ended_;
   }
@@ -454,13 +538,15 @@ std::uint64_t fault_options_fingerprint(const FaultOptions& options) {
 
 JournalEval make_journal_eval(std::int64_t seq, const Configuration& config,
                               const Measurement& measurement, SimTime cost,
-                              SimTime budget_spent, const std::string& phase) {
+                              SimTime budget_spent, const std::string& phase,
+                              bool include_metrics) {
   JournalEval eval;
   eval.seq = seq;
   eval.fingerprint = config.fingerprint();
   eval.phase = phase;
   eval.command_line = config.render_command_line();
   eval.times_ms = measurement.times_ms;
+  if (include_metrics) eval.rep_metrics = measurement.rep_metrics;
   eval.crashed = measurement.crashed;
   eval.crash_reason = measurement.crash_reason;
   eval.fault = measurement.fault;
@@ -481,6 +567,8 @@ void validate_resume_meta(const JournalMeta& journaled,
   check(journaled.version == session.version, "version",
         std::to_string(journaled.version), std::to_string(session.version));
   check(journaled.kind == session.kind, "kind", journaled.kind, session.kind);
+  check(journaled.objective == session.objective, "objective",
+        journaled.objective, session.objective);
   check(journaled.workload == session.workload, "workload", journaled.workload,
         session.workload);
   check(journaled.tuner == session.tuner, "tuner", journaled.tuner,

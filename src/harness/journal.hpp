@@ -68,6 +68,12 @@ class JournalError : public Error {
 struct JournalMeta {
   int version = 1;
   std::string kind = "single";  ///< "single" | "suite"
+  /// Objective id (objective.hpp). Journals written under the default
+  /// run_time objective omit the field and stay version-1 byte-identical
+  /// to pre-objective journals; any other objective bumps the record to
+  /// version 2 (kVersionObjectives) and journals per-record metric
+  /// vectors. Absent in old journals ⇒ resumes as "run_time".
+  std::string objective = "run_time";
   std::string workload;         ///< workload name (suite: names joined by ",")
   std::string tuner;
   std::uint64_t seed = 0;
@@ -106,6 +112,10 @@ struct JournalEval {
   std::string phase;
   std::string command_line;
   std::vector<double> times_ms;
+  /// Per-repetition metric rows (aligned with times_ms). Only journaled
+  /// under a non-run_time objective — run_time records stay byte-identical
+  /// to the metric-less version-1 form, whose replay needs only times_ms.
+  std::vector<MetricVector> rep_metrics;
   bool crashed = false;
   std::string crash_reason;
   FaultClass fault = FaultClass::kNone;
@@ -134,9 +144,29 @@ struct JournalOptions {
 /// thread); appends are one write(2) each, so a concurrent reader or a
 /// crash never observes an interleaved record — at worst a torn final line,
 /// which the tolerant reader drops.
+/// A recoverable oddity the tolerant reader noticed but proceeded past:
+/// an unknown fault/stop label (read as clean — surfaced so it is never
+/// *silently* read as clean) or an uninterpretable metric block.
+struct JournalWarning {
+  std::size_t line = 0;   ///< 1-based journal line the oddity was read from
+  std::string field;      ///< record field ("fault", "stop", "metrics")
+  std::string value;      ///< the offending value
+  std::string message;    ///< human-readable description
+};
+
 class SessionJournal {
  public:
+  /// Base format: metric-less records, implicit run_time objective.
   static constexpr int kVersion = 1;
+  /// Format with an `objective` meta field and per-record metric vectors;
+  /// written whenever the session's objective is not run_time.
+  static constexpr int kVersionObjectives = 2;
+
+  /// The version a session must stamp into its meta record for a given
+  /// objective id: kVersion for "run_time", kVersionObjectives otherwise.
+  static int version_for_objective(const std::string& objective_id) {
+    return objective_id == "run_time" ? kVersion : kVersionObjectives;
+  }
 
   /// Creates (truncating) a fresh journal. The session writes the metadata
   /// record via write_meta() once it knows its configuration.
@@ -165,6 +195,10 @@ class SessionJournal {
   const std::vector<JournalEval>& committed() const { return committed_; }
   /// Corrupt/partial trailing records dropped by the tolerant reader.
   std::size_t dropped_records() const { return dropped_; }
+  /// Structured warnings from the tolerant reader: unknown fault/stop
+  /// labels (which read as clean but should never do so silently) and
+  /// uninterpretable metric blocks. Empty on a healthy journal.
+  const std::vector<JournalWarning>& warnings() const { return warnings_; }
   /// True when a journal_end record was seen: the journaled session ran to
   /// completion (resuming it extends the search only if budget remains).
   bool ended() const { return ended_; }
@@ -196,6 +230,7 @@ class SessionJournal {
   std::optional<JournalMeta> meta_;
   std::vector<JournalEval> committed_;
   std::size_t dropped_ = 0;
+  std::vector<JournalWarning> warnings_;
   std::size_t appended_ = 0;
   bool ended_ = false;
   std::mutex mutex_;
@@ -209,9 +244,13 @@ std::uint64_t space_fingerprint(const FlagRegistry& registry);
 std::uint64_t fault_options_fingerprint(const FaultOptions& options);
 
 /// Builds the journal record for one committed evaluation.
+/// `include_metrics` copies the measurement's per-repetition metric rows
+/// into the record; sessions set it exactly when their objective is not
+/// run_time, so run_time journals stay byte-identical to version 1.
 JournalEval make_journal_eval(std::int64_t seq, const Configuration& config,
                               const Measurement& measurement, SimTime cost,
-                              SimTime budget_spent, const std::string& phase);
+                              SimTime budget_spent, const std::string& phase,
+                              bool include_metrics = false);
 
 /// Validates a resuming session against the journaled metadata; throws a
 /// field-level JournalError on the first mismatch. `eval_threads` is

@@ -1,6 +1,7 @@
 #include "harness/measure_policy.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace jat {
 
@@ -22,10 +23,15 @@ MeasurementPolicy::Decision MeasurementPolicy::after_rep(
   }
 
   // Convergence first: a tight mean is always worth keeping, even for a
-  // loser — the session compares objectives, not stop reasons.
+  // loser — the session compares objectives, not stop reasons. The sample
+  // carries the objective's per-rep scalars, which may be negative
+  // (throughput is negated), so the relative half-width is taken against
+  // |mean|; for the positive run-time stream this is the same comparison
+  // as before.
   const double dof = static_cast<double>(sample.count() - 1);
-  if (sample.mean() > 0.0 &&
-      t_critical_95(dof) * sample.sem() <= options_.ci_rel * sample.mean()) {
+  const double scale = std::abs(sample.mean());
+  if (scale > 0.0 &&
+      t_critical_95(dof) * sample.sem() <= options_.ci_rel * scale) {
     return Decision::kConverged;
   }
 

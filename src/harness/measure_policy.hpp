@@ -44,13 +44,19 @@ constexpr const char* to_string(StopReason stop) {
   return "full";
 }
 
-/// Inverse of to_string(StopReason); unknown labels read as kFull (the
-/// session journal round-trips stop reasons through their names).
-constexpr StopReason stop_reason_from_string(std::string_view name) {
+/// Inverse of to_string(StopReason). `known` (when non-null) reports
+/// whether the label named a real reason; readers of external data use it
+/// to surface unknown labels as warnings. Unknown labels still map to
+/// kFull so tolerant readers can proceed.
+constexpr StopReason stop_reason_from_string(std::string_view name,
+                                             bool* known = nullptr) {
+  if (known != nullptr) *known = true;
+  if (name == "full") return StopReason::kFull;
   if (name == "converged") return StopReason::kConverged;
   if (name == "raced_out") return StopReason::kRacedOut;
   if (name == "budget_cut") return StopReason::kBudgetCut;
   if (name == "cancelled") return StopReason::kCancelled;
+  if (known != nullptr) *known = false;
   return StopReason::kFull;
 }
 

@@ -1,6 +1,7 @@
 // One measured candidate: repeated runs of a configuration on a workload.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -11,6 +12,8 @@
 #include "support/statistics.hpp"
 
 namespace jat {
+
+class Objective;
 
 /// Failure taxonomy for the evaluation path. Real harnesses fail in ways
 /// that demand different responses: a transient flake is worth retrying, a
@@ -39,20 +42,71 @@ constexpr const char* to_string(FaultClass fault) {
   return "none";
 }
 
-/// Inverse of to_string(FaultClass); unknown labels read as kNone (the
-/// session journal round-trips fault classes through their names).
-constexpr FaultClass fault_class_from_string(std::string_view name) {
+/// Inverse of to_string(FaultClass). `known` (when non-null) is set to
+/// whether the label named a real class: readers that ingest external data
+/// (journal, CSV) use it to surface unknown labels as structured warnings
+/// instead of silently reading them as clean. The label still maps to
+/// kNone so tolerant readers can proceed.
+constexpr FaultClass fault_class_from_string(std::string_view name,
+                                             bool* known = nullptr) {
+  if (known != nullptr) *known = true;
+  if (name == "none") return FaultClass::kNone;
   if (name == "transient") return FaultClass::kTransient;
   if (name == "deterministic") return FaultClass::kDeterministic;
   if (name == "timeout") return FaultClass::kTimeout;
   if (name == "crash") return FaultClass::kCrash;
   if (name == "quarantined") return FaultClass::kQuarantined;
+  if (known != nullptr) *known = false;
   return FaultClass::kNone;
 }
+
+/// Per-repetition metrics a runner extracts from each successful RunResult.
+/// `times_ms` remains the canonical run-time stream (and the only one for
+/// pre-metric measurements); the metric rows widen it so an Objective can
+/// scalarize any column. Invariant maintained by the runner: one row per
+/// entry of `times_ms`, with row[kTotalTimeMs] == times_ms[i] bit-for-bit.
+enum class MetricId {
+  kTotalTimeMs = 0,   ///< wall time of the whole run (ms)
+  kStartupTimeMs,     ///< wall time until startup work completed (ms)
+  kThroughput,        ///< work units per simulated second
+  kGcPauseMaxMs,      ///< longest stop-the-world GC pause (ms)
+  kGcPauseTotalMs,    ///< summed stop-the-world GC pauses (ms)
+  kPeakHeapMb,        ///< peak heap occupancy (MiB)
+};
+inline constexpr int kMetricCount = 6;
+
+constexpr const char* to_string(MetricId metric) {
+  switch (metric) {
+    case MetricId::kTotalTimeMs: return "time_ms";
+    case MetricId::kStartupTimeMs: return "startup_ms";
+    case MetricId::kThroughput: return "throughput";
+    case MetricId::kGcPauseMaxMs: return "gc_pause_max_ms";
+    case MetricId::kGcPauseTotalMs: return "gc_pause_total_ms";
+    case MetricId::kPeakHeapMb: return "peak_heap_mb";
+  }
+  return "time_ms";
+}
+
+struct MetricVector {
+  std::array<double, kMetricCount> v{};
+
+  double& operator[](MetricId id) { return v[static_cast<std::size_t>(id)]; }
+  double operator[](MetricId id) const {
+    return v[static_cast<std::size_t>(id)];
+  }
+  friend bool operator==(const MetricVector& a, const MetricVector& b) {
+    return a.v == b.v;
+  }
+};
 
 struct Measurement {
   std::uint64_t config_fingerprint = 0;
   std::vector<double> times_ms;  ///< per-repetition total run time
+  /// Per-repetition metric rows, aligned with times_ms (one row per
+  /// successful repetition). Empty on measurements predating the metric
+  /// layer (old journals, suite scores); Objective::rep_values falls back
+  /// to times_ms for those.
+  std::vector<MetricVector> rep_metrics;
   bool crashed = false;
   std::string crash_reason;
   SampleSummary summary;  ///< over times_ms (valid when !crashed)
@@ -72,15 +126,21 @@ struct Measurement {
   /// trusting it as an incumbent.
   StopReason stop = StopReason::kFull;
 
-  /// The tuning objective: mean run time in ms, lower is better. Crashed
-  /// configurations are infinitely bad, like a failed run in the paper's
-  /// harness.
+  /// The default tuning objective: mean run time in ms, lower is better.
+  /// Crashed configurations are infinitely bad, like a failed run in the
+  /// paper's harness. Equivalent to objective(run_time_objective()).
   double objective() const {
     if (crashed || times_ms.empty()) {
       return std::numeric_limits<double>::infinity();
     }
     return summary.mean;
   }
+
+  /// Pluggable scalarization (objective.hpp): the mean of `obj`'s
+  /// per-repetition values over rep_metrics, +inf when crashed or empty.
+  /// For the run_time objective this is bit-identical to objective().
+  /// Defined in objective.cpp.
+  double objective(const Objective& obj) const;
 
   bool valid() const { return !crashed && !times_ms.empty(); }
 };

@@ -1,0 +1,199 @@
+#include "harness/objective.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "support/statistics.hpp"
+
+namespace jat {
+namespace {
+
+/// Shortest exact rendering of a parameter value: %.17g round-trips every
+/// double, so a canonical id re-parsed (journal resume) rebuilds the same
+/// objective bit-for-bit.
+std::string render_param(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string valid_set_message() {
+  std::string msg = "valid objectives:";
+  for (const std::string& line : list_objectives()) {
+    msg += "\n  " + line;
+  }
+  return msg;
+}
+
+double parse_double_param(std::string_view spec, std::string_view key,
+                          std::string_view text) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0') {
+    throw ObjectiveError("objective '" + std::string(spec) + "': parameter " +
+                         std::string(key) + "=" + copy +
+                         " is not a number\n" + valid_set_message());
+  }
+  return value;
+}
+
+}  // namespace
+
+Objective::Objective(Kind kind, std::string id, double pause_limit_ms,
+                     double penalty)
+    : kind_(kind),
+      id_(std::move(id)),
+      pause_limit_ms_(pause_limit_ms),
+      penalty_(penalty) {}
+
+const char* Objective::unit() const {
+  switch (kind_) {
+    case Kind::kRunTime:
+    case Kind::kStartupTime:
+    case Kind::kPauseMax:
+    case Kind::kComposite:
+      return "ms";
+    case Kind::kThroughput:
+      return "-work/s";
+    case Kind::kFootprint:
+      return "MiB";
+  }
+  return "ms";
+}
+
+double Objective::rep_value(const MetricVector& rep) const {
+  switch (kind_) {
+    case Kind::kRunTime:
+      return rep[MetricId::kTotalTimeMs];
+    case Kind::kStartupTime:
+      return rep[MetricId::kStartupTimeMs];
+    case Kind::kThroughput:
+      // Negated: the search minimizes, so more work/s scores lower.
+      return -rep[MetricId::kThroughput];
+    case Kind::kPauseMax:
+      return rep[MetricId::kGcPauseMaxMs];
+    case Kind::kFootprint:
+      return rep[MetricId::kPeakHeapMb];
+    case Kind::kComposite: {
+      // Constrained run time, penalty-scalarized: inside the pause limit
+      // the value is the run time itself; every ms of max pause beyond the
+      // limit costs `penalty_` ms. Deterministic and monotone in the
+      // violation, so the search trades run time against the constraint
+      // smoothly instead of hitting an infeasibility cliff.
+      const double over = rep[MetricId::kGcPauseMaxMs] - pause_limit_ms_;
+      return rep[MetricId::kTotalTimeMs] +
+             (over > 0.0 ? penalty_ * over : 0.0);
+    }
+  }
+  return rep[MetricId::kTotalTimeMs];
+}
+
+std::vector<double> Objective::rep_values(const Measurement& m) const {
+  if (kind_ == Kind::kRunTime || m.rep_metrics.size() != m.times_ms.size()) {
+    // run_time reads the canonical stream directly; measurements without
+    // aligned metric rows (old journals, suite scores) only carry run
+    // times, so every objective degrades to that stream for them.
+    return m.times_ms;
+  }
+  std::vector<double> values;
+  values.reserve(m.rep_metrics.size());
+  for (const MetricVector& rep : m.rep_metrics) {
+    values.push_back(rep_value(rep));
+  }
+  return values;
+}
+
+double Objective::value(const Measurement& m) const {
+  if (m.crashed || m.times_ms.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return summarize(rep_values(m)).mean;
+}
+
+double Measurement::objective(const Objective& obj) const {
+  return obj.value(*this);
+}
+
+const Objective& run_time_objective() {
+  static const Objective objective(Objective::Kind::kRunTime, "run_time", 0.0,
+                                   0.0);
+  return objective;
+}
+
+std::shared_ptr<const Objective> make_objective(std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string_view name = spec.substr(0, colon);
+  const std::string_view params =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1);
+
+  Objective::Kind kind;
+  if (name == "run_time") {
+    kind = Objective::Kind::kRunTime;
+  } else if (name == "startup_time") {
+    kind = Objective::Kind::kStartupTime;
+  } else if (name == "throughput") {
+    kind = Objective::Kind::kThroughput;
+  } else if (name == "pause_max") {
+    kind = Objective::Kind::kPauseMax;
+  } else if (name == "footprint") {
+    kind = Objective::Kind::kFootprint;
+  } else if (name == "composite") {
+    kind = Objective::Kind::kComposite;
+  } else {
+    throw ObjectiveError("unknown objective '" + std::string(name) + "'\n" +
+                         valid_set_message());
+  }
+
+  double pause_limit_ms = 50.0;
+  double penalty = 10.0;
+  if (!params.empty() && kind != Objective::Kind::kComposite) {
+    throw ObjectiveError("objective '" + std::string(name) +
+                         "' takes no parameters\n" + valid_set_message());
+  }
+  std::string_view rest = params;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view val =
+        eq == std::string_view::npos ? std::string_view{} : pair.substr(eq + 1);
+    if (key == "pause_limit_ms") {
+      pause_limit_ms = parse_double_param(spec, key, val);
+    } else if (key == "penalty") {
+      penalty = parse_double_param(spec, key, val);
+    } else {
+      throw ObjectiveError("objective '" + std::string(name) +
+                           "': unknown parameter '" + std::string(key) +
+                           "'\n" + valid_set_message());
+    }
+  }
+
+  std::string id(name);
+  if (kind == Objective::Kind::kComposite) {
+    id += ":pause_limit_ms=" + render_param(pause_limit_ms) +
+          ",penalty=" + render_param(penalty);
+  }
+  return std::shared_ptr<const Objective>(
+      new Objective(kind, std::move(id), pause_limit_ms, penalty));
+}
+
+std::vector<std::string> list_objectives() {
+  return {
+      "run_time — mean total run time, the default (ms)",
+      "startup_time — mean startup-phase time (ms)",
+      "throughput — negated work per second; more throughput scores lower "
+      "(-work/s)",
+      "pause_max — mean per-repetition maximum GC pause (ms)",
+      "footprint — mean peak heap occupancy (MiB)",
+      "composite[:pause_limit_ms=50,penalty=10] — run time plus "
+      "penalty*max(0, pause_max - limit) (ms)",
+  };
+}
+
+}  // namespace jat

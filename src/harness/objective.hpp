@@ -1,0 +1,105 @@
+// Pluggable tuning objectives: scalarize a measurement's per-repetition
+// metric vectors into the single number the search minimizes.
+//
+// The paper tunes two different targets — SPECjvm2008 startup ops/time and
+// DaCapo run time — and real JVM tuning is exactly about choosing the goal
+// (throughput vs pause time vs footprint). The runner records a MetricVector
+// per repetition (measurement.hpp); an Objective maps each row to a scalar,
+// and a measurement's objective value is the mean of those scalars (+inf for
+// crashed/empty measurements, for every objective). Lower is always better:
+// maximization targets (throughput) are negated.
+//
+// The `run_time` objective is the default and is bit-identical to the
+// pre-objective behaviour (Measurement::objective()): its per-rep scalars
+// are exactly `times_ms`, so convergence/racing decisions, incumbent
+// statistics, logs, and journals do not change unless another objective is
+// selected.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/measurement.hpp"
+
+namespace jat {
+
+/// Raised on unknown objective names, unknown or malformed parameters, and
+/// objective/session incompatibilities (e.g. a negated objective in a suite
+/// session). The message always lists the valid spellings.
+class ObjectiveError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One scalarization of the per-repetition metric vector. Instances are
+/// immutable and shareable across threads and fork(); sessions hold them by
+/// shared_ptr<const Objective>.
+class Objective {
+ public:
+  enum class Kind {
+    kRunTime = 0,  ///< mean total run time, ms (the default; paper's target)
+    kStartupTime,  ///< mean startup phase time, ms
+    kThroughput,   ///< negated work/s (lower is better ⇒ more throughput)
+    kPauseMax,     ///< mean of per-rep max GC pause, ms
+    kFootprint,    ///< mean peak heap occupancy, MiB
+    kComposite,    ///< run time + penalty·max(0, pause_max − limit), ms
+  };
+
+  /// Canonical spec string, e.g. "run_time", "pause_max",
+  /// "composite:pause_limit_ms=50,penalty=10". Round-trips through
+  /// make_objective() and is what the journal meta / CSV / traces record.
+  const std::string& id() const { return id_; }
+  Kind kind() const { return kind_; }
+  /// Unit label for reports ("ms", "-work/s", "MiB").
+  const char* unit() const;
+
+  /// The scalar this objective assigns to one repetition's metrics.
+  double rep_value(const MetricVector& rep) const;
+
+  /// True when rep values live on a positive scale (times, sizes), where a
+  /// multiplicative racing factor and ratio normalization are meaningful.
+  /// False for negated objectives (throughput): the runner skips the
+  /// first-rep racing factor and suite sessions refuse the objective.
+  bool positive_scale() const { return kind_ != Kind::kThroughput; }
+
+  /// Per-repetition scalar stream of a measurement. run_time returns
+  /// `times_ms` itself (bit-identical to pre-objective behaviour, and the
+  /// fallback that keeps metric-less measurements — old journals, suite
+  /// scores — scalarizable); other objectives map rep_metrics rows.
+  std::vector<double> rep_values(const Measurement& m) const;
+
+  /// Scalarizes a whole measurement: mean of rep_values, +inf when crashed
+  /// or empty. Equals Measurement::objective() for run_time.
+  double value(const Measurement& m) const;
+
+ private:
+  friend std::shared_ptr<const Objective> make_objective(std::string_view);
+  friend const Objective& run_time_objective();
+
+  Objective(Kind kind, std::string id, double pause_limit_ms, double penalty);
+
+  Kind kind_;
+  std::string id_;
+  // Composite parameters (ignored by the other kinds).
+  double pause_limit_ms_;  ///< constraint L on the per-rep max GC pause
+  double penalty_;         ///< ms charged per ms of pause beyond L
+};
+
+/// The process-wide default objective ("run_time"). Layers that receive no
+/// explicit objective use this one; it reproduces the historical scalar
+/// behaviour exactly.
+const Objective& run_time_objective();
+
+/// Parses "NAME" or "NAME:param=value[,param=value...]" into an objective.
+/// Throws ObjectiveError (message lists the valid set) on unknown names,
+/// unknown parameters, or unparsable values.
+std::shared_ptr<const Objective> make_objective(std::string_view spec);
+
+/// One line per built-in objective: "name[:params] — description (unit)".
+/// Backs `jat_tune --list-objectives` and ObjectiveError messages.
+std::vector<std::string> list_objectives();
+
+}  // namespace jat

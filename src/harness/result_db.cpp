@@ -14,7 +14,7 @@ std::int64_t ResultDb::record(std::uint64_t fingerprint, double objective_ms,
                               SimTime budget_spent, std::string command_line,
                               std::string phase, FaultClass fault,
                               std::string crash_reason, int attempts,
-                              StopReason stop) {
+                              StopReason stop, const Measurement* measurement) {
   std::lock_guard lock(mutex_);
   EvalRecord rec;
   rec.index = static_cast<std::int64_t>(records_.size());
@@ -27,8 +27,34 @@ std::int64_t ResultDb::record(std::uint64_t fingerprint, double objective_ms,
   rec.crash_reason = std::move(crash_reason);
   rec.attempts = attempts;
   rec.stop = stop;
+  if (measurement != nullptr) {
+    rec.reps = static_cast<int>(measurement->times_ms.size());
+    if (!measurement->rep_metrics.empty()) {
+      rec.has_metrics = true;
+      const double n = static_cast<double>(measurement->rep_metrics.size());
+      for (const MetricVector& row : measurement->rep_metrics) {
+        for (int i = 0; i < kMetricCount; ++i) {
+          rec.metric_means.v[static_cast<std::size_t>(i)] +=
+              row.v[static_cast<std::size_t>(i)];
+        }
+      }
+      for (int i = 0; i < kMetricCount; ++i) {
+        rec.metric_means.v[static_cast<std::size_t>(i)] /= n;
+      }
+    }
+  }
   records_.push_back(std::move(rec));
   return records_.back().index;
+}
+
+void ResultDb::set_objective(std::string objective_id) {
+  std::lock_guard lock(mutex_);
+  objective_id_ = std::move(objective_id);
+}
+
+std::string ResultDb::objective_id() const {
+  std::lock_guard lock(mutex_);
+  return objective_id_;
 }
 
 std::size_t ResultDb::size() const {
@@ -97,18 +123,45 @@ bool ResultDb::save_csv(const std::string& path) const {
   // over the target. A crash mid-write leaves the previous export intact
   // instead of a torn CSV.
   const std::string tmp = path + ".tmp";
+  const std::string objective_id = this->objective_id();
+  // run_time logs keep the historical 10-column schema, byte-identical to
+  // the pre-objective exporter; any other objective switches to the
+  // extended schema that names the objective and summarizes every metric.
+  const bool extended = !objective_id.empty() && objective_id != "run_time";
   {
     std::ofstream out(tmp);
     if (!out) return false;
-    out << "index,fingerprint,objective_ms,budget_spent_s,phase,fault,stop,"
-           "attempts,crash_reason,command_line\n";
+    if (extended) {
+      out << "index,fingerprint,objective,objective_value,budget_spent_s,"
+             "phase,fault,stop,attempts,reps";
+      for (int i = 0; i < kMetricCount; ++i) {
+        out << ',' << to_string(static_cast<MetricId>(i));
+      }
+      out << ",crash_reason,command_line\n";
+    } else {
+      out << "index,fingerprint,objective_ms,budget_spent_s,phase,fault,stop,"
+             "attempts,crash_reason,command_line\n";
+    }
     for (const auto& rec : all()) {
-      out << rec.index << ',' << rec.fingerprint << ',' << rec.objective_ms
-          << ',' << rec.budget_spent.as_seconds() << ','
-          << csv_quote(rec.phase) << ',' << to_string(rec.fault) << ','
-          << to_string(rec.stop) << ',' << rec.attempts << ','
-          << csv_quote(rec.crash_reason) << ',' << csv_quote(rec.command_line)
-          << "\n";
+      if (extended) {
+        out << rec.index << ',' << rec.fingerprint << ','
+            << csv_quote(objective_id) << ',' << rec.objective_ms << ','
+            << rec.budget_spent.as_seconds() << ',' << csv_quote(rec.phase)
+            << ',' << to_string(rec.fault) << ',' << to_string(rec.stop)
+            << ',' << rec.attempts << ',' << rec.reps;
+        for (int i = 0; i < kMetricCount; ++i) {
+          out << ',' << rec.metric_means.v[static_cast<std::size_t>(i)];
+        }
+        out << ',' << csv_quote(rec.crash_reason) << ','
+            << csv_quote(rec.command_line) << "\n";
+      } else {
+        out << rec.index << ',' << rec.fingerprint << ',' << rec.objective_ms
+            << ',' << rec.budget_spent.as_seconds() << ','
+            << csv_quote(rec.phase) << ',' << to_string(rec.fault) << ','
+            << to_string(rec.stop) << ',' << rec.attempts << ','
+            << csv_quote(rec.crash_reason) << ',' << csv_quote(rec.command_line)
+            << "\n";
+      }
     }
     out.flush();
     if (!out) {

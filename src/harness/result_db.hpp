@@ -19,7 +19,7 @@ namespace jat {
 struct EvalRecord {
   std::int64_t index = 0;            ///< arrival order
   std::uint64_t fingerprint = 0;
-  double objective_ms = 0;           ///< +inf for crashes
+  double objective_ms = 0;           ///< objective value; +inf for crashes
   SimTime budget_spent;              ///< budget position when recorded
   std::string command_line;          ///< non-default flags
   std::string phase;                 ///< tuner-defined label ("structural", ...)
@@ -27,17 +27,31 @@ struct EvalRecord {
   std::string crash_reason;          ///< empty for clean evaluations
   int attempts = 1;                  ///< evaluation attempts (1 + retries)
   StopReason stop = StopReason::kFull;  ///< why repetitions stopped
+  int reps = 0;                      ///< successful repetitions summarized
+  bool has_metrics = false;          ///< metric_means below are populated
+  MetricVector metric_means{};       ///< per-metric means over the rep rows
 };
 
 class ResultDb {
  public:
-  /// Appends a record (thread-safe); returns its index.
+  /// Appends a record (thread-safe); returns its index. `measurement`
+  /// (when given) supplies the per-repetition metric rows summarized into
+  /// the record's metric means.
   std::int64_t record(std::uint64_t fingerprint, double objective_ms,
                       SimTime budget_spent, std::string command_line,
                       std::string phase = "",
                       FaultClass fault = FaultClass::kNone,
                       std::string crash_reason = "", int attempts = 1,
-                      StopReason stop = StopReason::kFull);
+                      StopReason stop = StopReason::kFull,
+                      const Measurement* measurement = nullptr);
+
+  /// Declares the objective this log was recorded under (objective.hpp id
+  /// string; unset means "run_time"). save_csv keeps the historical
+  /// 10-column schema — byte-identical — for run_time logs and switches to
+  /// the extended schema with per-metric summary columns for any other
+  /// objective. The schema is documented in EXPERIMENTS.md.
+  void set_objective(std::string objective_id);
+  std::string objective_id() const;
 
   std::size_t size() const;
   EvalRecord get(std::size_t index) const;
@@ -66,6 +80,7 @@ class ResultDb {
  private:
   mutable std::mutex mutex_;
   std::vector<EvalRecord> records_;
+  std::string objective_id_;  ///< empty = run_time (legacy CSV schema)
 };
 
 }  // namespace jat

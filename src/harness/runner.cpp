@@ -152,6 +152,8 @@ Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
                                               const Measurement* base) {
   Measurement m;
   m.config_fingerprint = config.fingerprint();
+  const Objective& objective =
+      options_.objective ? *options_.objective : run_time_objective();
 
   const bool adaptive = options_.policy.adaptive;
   const int planned =
@@ -167,11 +169,12 @@ Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
     // measurement stopped. Seeds derive from the absolute index, so the
     // merged result is bit-identical to a from-scratch full measurement.
     m.times_ms = base->times_ms;
+    m.rep_metrics = base->rep_metrics;
     m.attempts = base->attempts;
     failed_reps = base->failed_reps;
     worst_fault = base->fault;
     start_rep = static_cast<int>(base->times_ms.size()) + base->failed_reps;
-    for (double t : m.times_ms) sample.add(t);
+    for (double t : objective.rep_values(*base)) sample.add(t);
   }
   m.times_ms.reserve(static_cast<std::size_t>(planned));
 
@@ -219,11 +222,25 @@ Measurement BenchmarkRunner::measure_uncached(const Configuration& config,
       if (options_.fail_fast) break;
     } else {
       m.times_ms.push_back(run.total_time.as_millis());
-      sample.add(run.total_time.as_millis());
+      MetricVector metrics;
+      metrics[MetricId::kTotalTimeMs] = run.total_time.as_millis();
+      metrics[MetricId::kStartupTimeMs] = run.startup_time.as_millis();
+      metrics[MetricId::kThroughput] = run.throughput();
+      metrics[MetricId::kGcPauseMaxMs] = run.gc_pause_max.as_millis();
+      metrics[MetricId::kGcPauseTotalMs] = run.gc_pause_total.as_millis();
+      metrics[MetricId::kPeakHeapMb] =
+          static_cast<double>(run.peak_heap_used) / (1024.0 * 1024.0);
+      m.rep_metrics.push_back(metrics);
+      const double rep_scalar = objective.rep_value(metrics);
+      sample.add(rep_scalar);
 
-      // Racing: abandon clear losers after their first repetition.
-      if (rep == 0 && options_.racing_factor > 0.0) {
-        const double first = run.total_time.as_millis();
+      // Racing: abandon clear losers after their first repetition. The
+      // floor is a multiplicative threshold, so it only applies on
+      // positive scales (negated objectives skip it; the Welch racing in
+      // the adaptive policy covers them instead).
+      if (rep == 0 && options_.racing_factor > 0.0 &&
+          objective.positive_scale()) {
+        const double first = rep_scalar;
         const double floor = best_first_rep_ms_.load(std::memory_order_relaxed);
         if (floor > 0.0 && first > floor * options_.racing_factor) {
           stop = StopReason::kRacedOut;

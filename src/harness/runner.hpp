@@ -16,6 +16,7 @@
 #include "harness/evaluator.hpp"
 #include "harness/fault.hpp"
 #include "harness/measurement.hpp"
+#include "harness/objective.hpp"
 #include "jvmsim/engine.hpp"
 #include "support/trace.hpp"
 #include "workloads/workload.hpp"
@@ -47,6 +48,12 @@ struct RunnerOptions {
   /// is worse. Disabled by default: behaviour is then bit-identical to the
   /// fixed-repetition loop.
   MeasurementPolicyOptions policy;
+  /// The tuning objective (objective.hpp). Racing, the adaptive policy's
+  /// convergence/abandon decisions, and the racing floor all operate on
+  /// this objective's per-repetition scalar stream. Null selects
+  /// run_time_objective(), whose stream is `times_ms` itself — the
+  /// historical behaviour, bit-identical.
+  std::shared_ptr<const Objective> objective;
 };
 
 class BenchmarkRunner : public Evaluator {

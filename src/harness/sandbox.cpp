@@ -170,6 +170,10 @@ struct Reply {
   double racing_floor_ms = 0.0;
   FaultStats stats_delta;
   std::vector<double> times_ms;
+  /// Per-repetition metric matrix, rows aligned with times_ms; doubles
+  /// cross the pipe as raw bit patterns, so the parent rebuilds the exact
+  /// metric vectors the worker's runner recorded.
+  std::vector<MetricVector> rep_metrics;
   std::string crash_reason;
 };
 
@@ -224,6 +228,11 @@ std::string encode_reply(const Reply& reply) {
   append_stats(p, reply.stats_delta);
   append_u32(p, static_cast<std::uint32_t>(reply.times_ms.size()));
   for (const double t : reply.times_ms) append_f64(p, t);
+  append_u32(p, static_cast<std::uint32_t>(kMetricCount));
+  append_u32(p, static_cast<std::uint32_t>(reply.rep_metrics.size()));
+  for (const MetricVector& row : reply.rep_metrics) {
+    for (const double v : row.v) append_f64(p, v);
+  }
   append_u32(p, static_cast<std::uint32_t>(reply.crash_reason.size()));
   p += reply.crash_reason;
   return p;
@@ -248,6 +257,19 @@ bool decode_reply(const std::string& payload, Reply& reply) {
   reply.times_ms.clear();
   reply.times_ms.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) reply.times_ms.push_back(r.f64());
+  const std::uint32_t metric_cols = r.u32();
+  const std::uint32_t metric_rows = r.u32();
+  if (!r.ok() || metric_cols != static_cast<std::uint32_t>(kMetricCount) ||
+      metric_rows > kMaxFrameBytes / (sizeof(double) * kMetricCount)) {
+    return false;
+  }
+  reply.rep_metrics.clear();
+  reply.rep_metrics.reserve(metric_rows);
+  for (std::uint32_t i = 0; i < metric_rows; ++i) {
+    MetricVector row;
+    for (double& v : row.v) v = r.f64();
+    reply.rep_metrics.push_back(row);
+  }
   const std::uint32_t reason_len = r.u32();
   reply.crash_reason = r.bytes(reason_len);
   return r.ok() && r.exhausted();
@@ -588,6 +610,7 @@ void SandboxedEvaluator::spawn(Worker& worker) {
     reply.failed_reps = m.failed_reps;
     reply.cost_us = meter.metered().as_micros();
     reply.times_ms = m.times_ms;
+    reply.rep_metrics = m.rep_metrics;
     reply.crash_reason = m.crash_reason;
     if (runner_ != nullptr) {
       reply.runs_delta = runner_->runs_executed() - runs_before;
@@ -838,6 +861,7 @@ Measurement SandboxedEvaluator::measure(const Configuration& config,
   Measurement m;
   m.config_fingerprint = fingerprint;
   m.times_ms = std::move(reply.times_ms);
+  m.rep_metrics = std::move(reply.rep_metrics);
   m.crashed = reply.crashed;
   m.crash_reason = std::move(reply.crash_reason);
   m.fault = reply.fault;

@@ -48,8 +48,11 @@ struct RunResult {
   /// Event timeline; non-null only when SimOptions::collect_trace is set.
   std::shared_ptr<const RunTrace> trace;
 
-  /// Throughput in work units per simulated second (0 when crashed).
+  /// Throughput in work units per simulated second. Crashed runs report 0
+  /// even when they completed partial work before dying: a crash is not a
+  /// slow success, and a throughput objective must never credit one.
   double throughput() const {
+    if (crashed) return 0.0;
     const double s = total_time.as_seconds();
     return s > 0.0 ? work_done / s : 0.0;
   }

@@ -29,7 +29,9 @@ TuningOutcome TuningSession::resume(SessionJournal& journal,
 JournalMeta TuningSession::journal_meta(const std::string& tuner_name) const {
   const SearchSpace space(FlagHierarchy::hotspot());
   JournalMeta meta;
-  meta.version = SessionJournal::kVersion;
+  meta.objective =
+      options_.objective ? options_.objective->id() : std::string("run_time");
+  meta.version = SessionJournal::version_for_objective(meta.objective);
   meta.kind = "single";
   meta.workload = workload_.name;
   meta.tuner = tuner_name;
@@ -54,12 +56,15 @@ JournalMeta TuningSession::journal_meta(const std::string& tuner_name) const {
 TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
                                           SessionJournal* journal,
                                           bool resuming) {
+  const Objective& objective =
+      options_.objective ? *options_.objective : run_time_objective();
   RunnerOptions runner_options;
   runner_options.repetitions = options_.repetitions;
   runner_options.seed = options_.seed;
   runner_options.per_run_overhead_s = options_.per_run_overhead_s;
   runner_options.racing_factor = options_.racing_factor;
   runner_options.policy = options_.measurement;
+  runner_options.objective = options_.objective;
   BenchmarkRunner runner(*simulator_, workload_, runner_options);
   runner.set_cancellation(options_.cancel);
   const SearchSpace space(FlagHierarchy::hotspot());
@@ -110,6 +115,7 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
     trace->emit(TraceEvent("session_start")
                     .with("workload", workload_.name)
                     .with("tuner", strategy.name())
+                    .with("objective", objective.id())
                     .with("budget_s", options_.budget.as_seconds())
                     .with("repetitions",
                           static_cast<std::int64_t>(options_.repetitions))
@@ -149,7 +155,9 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   }
 
   Rng rng(mix64(options_.seed, fnv1a64(strategy.name())));
+  db->set_objective(objective.id());
   TuningContext ctx(*evaluator, budget, *db, space, rng, pool.get(), trace);
+  ctx.set_objective(objective);
   ctx.set_measurement_policy(options_.measurement);
   ctx.set_journal(journal);
   ctx.set_cancellation(options_.cancel);
@@ -180,15 +188,20 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
     trace->emit(TraceEvent("baseline", budget.spent())
                     .with("objective_ms", default_ms));
   }
-  if (std::isfinite(default_ms)) {
+  if (base.measurement.valid()) {
     // Abandon candidates 5x slower than the baseline rather than paying
-    // their full run time out of the tuning budget.
-    runner.set_time_limit(SimTime::millis(static_cast<std::int64_t>(default_ms * 5.0)));
+    // their full run time out of the tuning budget. The cut-off is always
+    // on wall-clock run time (the baseline's mean repetition time), never
+    // the objective scalar: a pause-time or footprint objective must not
+    // set a pause- or megabyte-scaled wall-clock limit. For run_time the
+    // two are the same double, so the limit is bit-identical.
+    runner.set_time_limit(SimTime::millis(
+        static_cast<std::int64_t>(base.measurement.summary.mean * 5.0)));
   }
 
   log_info() << "tuning " << workload_.name << " with " << strategy.name()
              << " (budget " << options_.budget.to_string() << ", default "
-             << fmt(default_ms, 0) << " ms)";
+             << fmt(default_ms, 0) << ' ' << objective.unit() << ")";
   (void)default_ms;
 
   EvalScheduler scheduler(ctx, SchedulerOptions{options_.inflight});
@@ -226,8 +239,9 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   BenchmarkRunner validator(*simulator_, workload_, validation_options);
   Configuration best_config = ctx.best_config();
   const double search_best_ms = ctx.best_objective();
-  const double validated_default = validator.measure(defaults).objective();
-  double validated_best = validator.measure(best_config).objective();
+  const double validated_default =
+      validator.measure(defaults).objective(objective);
+  double validated_best = validator.measure(best_config).objective(objective);
   bool winner_validated = validated_best < validated_default;
   if (!winner_validated) {
     // The apparent winner does not validate: the honest outcome is that
@@ -253,6 +267,7 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   TuningOutcome outcome{.workload_name = workload_.name,
                         .tuner_name = strategy.name(),
                         .best_config = best_config,
+                        .objective_id = objective.id(),
                         .default_ms = validated_default,
                         .best_ms = validated_best,
                         .evaluations = static_cast<std::int64_t>(db->size()),
@@ -306,7 +321,8 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
     runner.set_trace_sink(nullptr);
   }
 
-  log_info() << "  best " << fmt(outcome.best_ms, 0) << " ms ("
+  log_info() << "  best " << fmt(outcome.best_ms, 0) << ' ' << objective.unit()
+             << " ("
              << format_percent(outcome.improvement_frac()) << " improvement, "
              << outcome.evaluations << " evals, " << outcome.runs << " runs)";
   if (fault_stats.failures() > 0 || fault_stats.quarantine_hits > 0 ||

@@ -46,6 +46,13 @@ struct SessionOptions {
   /// Racing factor forwarded to the search runner (see RunnerOptions);
   /// the validation pass always uses full repetitions regardless.
   double racing_factor = 0.0;
+  /// The tuning objective (harness/objective.hpp, make_objective()). Null
+  /// selects run_time_objective(): sessions are then bit-identical to the
+  /// pre-objective behaviour — outcomes, evaluation logs, and journals.
+  /// Any other objective rescores every evaluation (search, incumbent,
+  /// racing, validation) on its scalar, switches the CSV to the extended
+  /// metric schema, and journals version-2 records with metric vectors.
+  std::shared_ptr<const Objective> objective;
   /// Confidence-driven adaptive measurement policy (see
   /// harness/measure_policy.hpp). With `adaptive` off (default) sessions
   /// are bit-identical to fixed-repetition behaviour. When on,
@@ -92,6 +99,8 @@ struct TuningOutcome {
   std::string workload_name;
   std::string tuner_name;
   Configuration best_config;
+  /// Objective the session tuned for ("run_time" unless selected).
+  std::string objective_id = "run_time";
   double default_ms = 0;  ///< objective of the default configuration
   double best_ms = 0;     ///< objective of the best configuration found
 

@@ -13,8 +13,17 @@ namespace jat {
 
 SuiteRunner::SuiteRunner(const JvmSimulator& simulator,
                          std::vector<WorkloadSpec> workloads,
-                         RunnerOptions options) {
+                         RunnerOptions options)
+    : objective_(options.objective) {
   if (workloads.empty()) throw TunerError("SuiteRunner: empty suite");
+  const Objective& obj = objective_ ? *objective_ : run_time_objective();
+  if (!obj.positive_scale()) {
+    throw ObjectiveError(
+        "SuiteRunner: objective '" + obj.id() +
+        "' has no positive scale; the suite score is a geometric mean of "
+        "value/default ratios and needs positive member values (tune suite "
+        "members under run_time or another positive-scale objective)");
+  }
   runners_.reserve(workloads.size());
   for (auto& workload : workloads) {
     runners_.push_back(
@@ -28,10 +37,19 @@ SuiteRunner::SuiteRunner(const JvmSimulator& simulator,
       throw TunerError("SuiteRunner: default configuration fails on " +
                        runner->workload().name);
     }
-    default_ms_.push_back(m.objective());
-    // Abandon candidates far slower than this member's baseline.
+    const double value = m.objective(obj);
+    if (!(value > 0) || !std::isfinite(value)) {
+      throw ObjectiveError("SuiteRunner: default " + obj.id() + " on " +
+                           runner->workload().name + " is " +
+                           std::to_string(value) +
+                           "; the suite score normalises by it and needs a "
+                           "positive, finite default");
+    }
+    default_ms_.push_back(value);
+    // Abandon candidates far slower than this member's baseline. The limit
+    // is on wall-clock run time (summary.mean), never the objective scalar.
     runner->set_time_limit(SimTime::millis(
-        static_cast<std::int64_t>(m.objective() * 5.0)));
+        static_cast<std::int64_t>(m.summary.mean * 5.0)));
   }
 }
 
@@ -41,10 +59,11 @@ void SuiteRunner::set_cancellation(const CancellationToken* token) {
 
 std::vector<double> SuiteRunner::measure_each(const Configuration& config,
                                               BudgetClock* budget) {
+  const Objective& obj = objective_ ? *objective_ : run_time_objective();
   std::vector<double> out;
   out.reserve(runners_.size());
   for (auto& runner : runners_) {
-    out.push_back(runner->measure(config, budget).objective());
+    out.push_back(runner->measure(config, budget).objective(obj));
   }
   return out;
 }
@@ -94,7 +113,9 @@ JournalMeta SuiteTuningSession::journal_meta(
     const std::string& tuner_name) const {
   const SearchSpace space(FlagHierarchy::hotspot());
   JournalMeta meta;
-  meta.version = SessionJournal::kVersion;
+  meta.objective =
+      options_.objective ? options_.objective->id() : std::string("run_time");
+  meta.version = SessionJournal::version_for_objective(meta.objective);
   meta.kind = "suite";
   for (const WorkloadSpec& workload : workloads_) {
     if (!meta.workload.empty()) meta.workload += ',';
@@ -129,6 +150,10 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
   // Members converge individually under the policy (CI stop only — no
   // incumbent hints cross the suite boundary; see SuiteRunner::measure).
   runner_options.policy = options_.measurement;
+  // Members are scored with the session objective; the suite-level context
+  // stays on run_time semantics because the suite measurement is already a
+  // scalar score (one "repetition" whose value *is* the objective).
+  runner_options.objective = options_.objective;
   SuiteRunner runner(*simulator_, workloads_, runner_options);
   runner.set_cancellation(options_.cancel);
 

@@ -18,10 +18,14 @@
 
 namespace jat {
 
-/// Evaluates a configuration on every workload in a suite. The objective
-/// is 1000 x geomean_i(time_i / default_time_i): 1000 means "exactly the
-/// defaults", lower is better, and a crash on any member crashes the
-/// candidate (a general configuration must work everywhere).
+/// Evaluates a configuration on every workload in a suite. The score is
+/// 1000 x geomean_i(value_i / default_value_i), where value_i is the
+/// member's scalar under the session objective (RunnerOptions::objective;
+/// run time by default): 1000 means "exactly the defaults", lower is
+/// better, and a crash on any member crashes the candidate (a general
+/// configuration must work everywhere). The geometric mean of ratios needs
+/// a positive scale, so objectives with positive_scale() == false (e.g.
+/// negated throughput) are rejected with ObjectiveError at construction.
 class SuiteRunner : public Evaluator {
  public:
   SuiteRunner(const JvmSimulator& simulator,
@@ -39,10 +43,10 @@ class SuiteRunner : public Evaluator {
   /// BenchmarkRunner::set_cancellation).
   void set_cancellation(const CancellationToken* token);
 
-  /// Per-workload default objectives (ms), measured at construction.
+  /// Per-workload default objective values, measured at construction.
   const std::vector<double>& default_times_ms() const { return default_ms_; }
 
-  /// Per-workload objectives (ms) for a configuration; entries are +inf
+  /// Per-workload objective values for a configuration; entries are +inf
   /// for crashes. Charges the budget like measure().
   std::vector<double> measure_each(const Configuration& config,
                                    BudgetClock* budget);
@@ -55,6 +59,7 @@ class SuiteRunner : public Evaluator {
  private:
   std::vector<std::unique_ptr<BenchmarkRunner>> runners_;
   std::vector<double> default_ms_;
+  std::shared_ptr<const Objective> objective_;
 };
 
 struct SuiteOutcome {

@@ -52,12 +52,12 @@ std::string TuningContext::resolve_phase(const std::string& phase) const {
 
 double TuningContext::record(const Configuration& config,
                              const Measurement& m, const std::string& phase) {
-  const double objective = m.objective();
+  const double objective = m.objective(*objective_);
   const std::uint64_t fingerprint = config.fingerprint();
   const std::string label = resolve_phase(phase);
   db_->record(fingerprint, objective, budget_->spent(),
               config.render_command_line(), label, m.fault, m.crash_reason,
-              m.attempts, m.stop);
+              m.attempts, m.stop, &m);
   if (trace_ != nullptr) {
     trace_->emit(TraceEvent("eval", budget_->spent())
                      .with("fingerprint", fingerprint_hex(fingerprint))
@@ -97,7 +97,7 @@ double TuningContext::commit(const Configuration& config, MeasuredEval& eval,
     EvalHints hints;
     {
       std::lock_guard lock(mutex_);
-      candidate = improves_locked(applied.measurement.objective(),
+      candidate = improves_locked(applied.measurement.objective(*objective_),
                                   config.fingerprint());
       hints.incumbent.count = incumbent_stat_.count();
       hints.incumbent.mean = incumbent_stat_.mean();
@@ -116,7 +116,7 @@ double TuningContext::commit(const Configuration& config, MeasuredEval& eval,
             TraceEvent("topup", budget_->spent())
                 .with("fingerprint", fingerprint_hex(config.fingerprint()))
                 .with("added_reps", std::max<std::int64_t>(0, added))
-                .with("objective_ms", extended.objective())
+                .with("objective_ms", extended.objective(*objective_))
                 .with("stop", std::string(to_string(extended.stop))));
         trace_->metrics().add("policy.topups");
       }
@@ -128,9 +128,10 @@ double TuningContext::commit(const Configuration& config, MeasuredEval& eval,
   if (journal_ != nullptr && !replayed) {
     // WAL order: the record is durable before the result mutates any state.
     // A crash between the append and the apply merely replays it on resume.
-    journal_->append(make_journal_eval(static_cast<std::int64_t>(db_->size()),
-                                       config, applied.measurement,
-                                       applied.cost, budget_->spent(), label));
+    journal_->append(make_journal_eval(
+        static_cast<std::int64_t>(db_->size()), config, applied.measurement,
+        applied.cost, budget_->spent(), label,
+        /*include_metrics=*/objective_->id() != "run_time"));
   }
   return record(config, applied.measurement, label);
 }
@@ -219,7 +220,7 @@ void TuningContext::consider(const Configuration& config,
                              std::uint64_t fingerprint,
                              const Measurement& measurement,
                              const std::string& phase) {
-  const double objective = measurement.objective();
+  const double objective = measurement.objective(*objective_);
   bool improved = false;
   {
     std::lock_guard lock(mutex_);
@@ -228,11 +229,14 @@ void TuningContext::consider(const Configuration& config,
       best_objective_ = objective;
       best_fingerprint_ = fingerprint;
       // Rebuild the incumbent's per-repetition statistics from the winning
-      // measurement so racing hints always compare against the *current*
-      // incumbent's sample (journal replay restores times_ms, so a resumed
-      // session rebuilds the identical snapshot).
+      // measurement's objective scalars so racing hints always compare
+      // against the *current* incumbent's sample (journal replay restores
+      // the metric rows, so a resumed session rebuilds the identical
+      // snapshot). For run_time the scalars are times_ms itself.
       incumbent_stat_ = RunningStat();
-      for (const double t : measurement.times_ms) incumbent_stat_.add(t);
+      for (const double t : objective_->rep_values(measurement)) {
+        incumbent_stat_.add(t);
+      }
       improved = true;
     }
   }

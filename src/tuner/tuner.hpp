@@ -11,6 +11,7 @@
 #include "harness/budget.hpp"
 #include "harness/journal.hpp"
 #include "harness/measure_policy.hpp"
+#include "harness/objective.hpp"
 #include "harness/result_db.hpp"
 #include "harness/evaluator.hpp"
 #include "harness/runner.hpp"
@@ -123,6 +124,17 @@ class TuningContext {
   double commit(const Configuration& config, MeasuredEval& eval,
                 bool replayed, const std::string& phase = std::string());
 
+  // ---- tuning objective (owned by the session) ----
+
+  /// Installs the objective every evaluation is scored with: record(),
+  /// commit(), the incumbent order, and the incumbent's racing statistics
+  /// all read `Measurement::objective(objective())`. Defaults to
+  /// run_time_objective(), which reproduces the historical scalar exactly.
+  /// The caller keeps `obj` alive for the context's lifetime (sessions hold
+  /// a shared_ptr). Set before the first evaluation, never between two.
+  void set_objective(const Objective& obj) { objective_ = &obj; }
+  const Objective& objective() const { return *objective_; }
+
   // ---- adaptive measurement policy (owned by the session) ----
 
   /// Installs the session's measurement policy. With `adaptive` off
@@ -175,6 +187,7 @@ class TuningContext {
   bool improves_locked(double objective, std::uint64_t fingerprint) const;
   std::string resolve_phase(const std::string& phase) const;
 
+  const Objective* objective_ = &run_time_objective();
   Evaluator* evaluator_;
   BudgetClock* budget_;
   ResultDb* db_;

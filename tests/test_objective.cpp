@@ -1,0 +1,500 @@
+// Pluggable tuning objectives (harness/objective.hpp): the factory and its
+// error surface, scalarization semantics per built-in (crash/empty edge
+// cases, throughput negation, composite penalty monotonicity), the
+// runner's per-repetition metric rows, the run_time bit-identity contract
+// (including a byte-compare against a committed pre-objective golden log),
+// and the structured warnings tolerant readers raise on unknown labels.
+#include "harness/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/journal.hpp"
+#include "harness/runner.hpp"
+#include "jvmsim/run_result.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+#include "tuner/algorithms.hpp"
+#include "tuner/session.hpp"
+#include "tuner/suite_session.hpp"
+#include "workloads/suites.hpp"
+
+namespace jat {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "jat_objective_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+MetricVector make_rep(double time_ms, double startup_ms, double throughput,
+                      double pause_max_ms, double pause_total_ms,
+                      double heap_mb) {
+  MetricVector rep;
+  rep[MetricId::kTotalTimeMs] = time_ms;
+  rep[MetricId::kStartupTimeMs] = startup_ms;
+  rep[MetricId::kThroughput] = throughput;
+  rep[MetricId::kGcPauseMaxMs] = pause_max_ms;
+  rep[MetricId::kGcPauseTotalMs] = pause_total_ms;
+  rep[MetricId::kPeakHeapMb] = heap_mb;
+  return rep;
+}
+
+Measurement make_measurement(const std::vector<MetricVector>& reps) {
+  Measurement m;
+  for (const MetricVector& rep : reps) {
+    m.times_ms.push_back(rep[MetricId::kTotalTimeMs]);
+    m.rep_metrics.push_back(rep);
+  }
+  m.summary = summarize(m.times_ms);
+  return m;
+}
+
+std::vector<std::shared_ptr<const Objective>> all_builtins() {
+  return {make_objective("run_time"),  make_objective("startup_time"),
+          make_objective("throughput"), make_objective("pause_max"),
+          make_objective("footprint"),  make_objective("composite")};
+}
+
+// ---------------------------------------------------------------------------
+// Factory and error surface
+
+TEST(ObjectiveFactory, ParsesEveryBuiltinName) {
+  EXPECT_EQ(make_objective("run_time")->kind(), Objective::Kind::kRunTime);
+  EXPECT_EQ(make_objective("startup_time")->kind(),
+            Objective::Kind::kStartupTime);
+  EXPECT_EQ(make_objective("throughput")->kind(),
+            Objective::Kind::kThroughput);
+  EXPECT_EQ(make_objective("pause_max")->kind(), Objective::Kind::kPauseMax);
+  EXPECT_EQ(make_objective("footprint")->kind(), Objective::Kind::kFootprint);
+  EXPECT_EQ(make_objective("composite")->kind(), Objective::Kind::kComposite);
+}
+
+TEST(ObjectiveFactory, CanonicalIdRoundTrips) {
+  for (const auto& objective : all_builtins()) {
+    const auto reparsed = make_objective(objective->id());
+    EXPECT_EQ(reparsed->id(), objective->id());
+    EXPECT_EQ(reparsed->kind(), objective->kind());
+  }
+  // Composite parameters survive the round trip at full precision.
+  const auto composite =
+      make_objective("composite:pause_limit_ms=12.5,penalty=3.25");
+  EXPECT_EQ(composite->id(), "composite:pause_limit_ms=12.5,penalty=3.25");
+  const MetricVector rep = make_rep(100, 50, 10, 20.5, 30, 64);
+  EXPECT_DOUBLE_EQ(make_objective(composite->id())->rep_value(rep),
+                   composite->rep_value(rep));
+}
+
+TEST(ObjectiveFactory, UnknownNameListsTheValidSet) {
+  try {
+    make_objective("speed");
+    FAIL() << "expected ObjectiveError";
+  } catch (const ObjectiveError& error) {
+    EXPECT_NE(std::string(error.what()).find("valid objectives"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("pause_max"), std::string::npos);
+  }
+}
+
+TEST(ObjectiveFactory, RejectsParametersOnNonComposite) {
+  EXPECT_THROW(make_objective("run_time:penalty=3"), ObjectiveError);
+  EXPECT_THROW(make_objective("pause_max:pause_limit_ms=10"), ObjectiveError);
+}
+
+TEST(ObjectiveFactory, RejectsUnknownOrMalformedParameters) {
+  EXPECT_THROW(make_objective("composite:limit=10"), ObjectiveError);
+  EXPECT_THROW(make_objective("composite:penalty=abc"), ObjectiveError);
+}
+
+TEST(ObjectiveFactory, ListsSixBuiltins) {
+  const std::vector<std::string> lines = list_objectives();
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_NE(lines.front().find("run_time"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Scalarization semantics
+
+TEST(ObjectiveValues, CrashedMeasurementIsInfinitelyBadForEveryObjective) {
+  Measurement m = make_measurement({make_rep(100, 50, 10, 5, 8, 64)});
+  m.crashed = true;
+  for (const auto& objective : all_builtins()) {
+    EXPECT_TRUE(std::isinf(m.objective(*objective)))
+        << objective->id() << " must treat a crash as +inf";
+    EXPECT_GT(m.objective(*objective), 0) << objective->id();
+  }
+}
+
+TEST(ObjectiveValues, EmptyMeasurementIsInfinitelyBadForEveryObjective) {
+  const Measurement empty;
+  for (const auto& objective : all_builtins()) {
+    EXPECT_TRUE(std::isinf(empty.objective(*objective))) << objective->id();
+  }
+}
+
+TEST(ObjectiveValues, SingleRepetitionScalarizesToItsOwnValue) {
+  const Measurement m = make_measurement({make_rep(123.5, 60, 8, 4, 7, 96)});
+  EXPECT_DOUBLE_EQ(m.objective(*make_objective("run_time")), 123.5);
+  EXPECT_DOUBLE_EQ(m.objective(*make_objective("startup_time")), 60);
+  EXPECT_DOUBLE_EQ(m.objective(*make_objective("pause_max")), 4);
+  EXPECT_DOUBLE_EQ(m.objective(*make_objective("footprint")), 96);
+}
+
+TEST(ObjectiveValues, RunTimeMatchesLegacyObjectiveBitForBit) {
+  const Measurement m = make_measurement({make_rep(101.25, 50, 10, 5, 8, 64),
+                                          make_rep(99.75, 48, 11, 4, 7, 63),
+                                          make_rep(100.5, 49, 10, 6, 9, 65)});
+  EXPECT_EQ(m.objective(run_time_objective()), m.objective());
+  EXPECT_EQ(m.objective(*make_objective("run_time")), m.objective());
+}
+
+TEST(ObjectiveValues, ThroughputNegationOrdersMoreWorkLower) {
+  const Measurement fast = make_measurement({make_rep(100, 50, 20, 5, 8, 64)});
+  const Measurement slow = make_measurement({make_rep(100, 50, 10, 5, 8, 64)});
+  const auto throughput = make_objective("throughput");
+  // 20 work/s beats 10 work/s: the negated scalar must be smaller.
+  EXPECT_LT(fast.objective(*throughput), slow.objective(*throughput));
+  EXPECT_DOUBLE_EQ(fast.objective(*throughput), -20.0);
+  EXPECT_FALSE(throughput->positive_scale());
+}
+
+TEST(ObjectiveValues, CompositePenaltyIsMonotoneInTheViolation) {
+  const auto composite =
+      make_objective("composite:pause_limit_ms=50,penalty=10");
+  const MetricVector inside = make_rep(1000, 0, 0, 30, 0, 0);
+  const MetricVector at_limit = make_rep(1000, 0, 0, 50, 0, 0);
+  const MetricVector over = make_rep(1000, 0, 0, 60, 0, 0);
+  const MetricVector far_over = make_rep(1000, 0, 0, 80, 0, 0);
+  // Inside the limit the composite *is* the run time.
+  EXPECT_DOUBLE_EQ(composite->rep_value(inside), 1000.0);
+  EXPECT_DOUBLE_EQ(composite->rep_value(at_limit), 1000.0);
+  // Beyond it, every ms of pause costs `penalty` ms, monotonically.
+  EXPECT_DOUBLE_EQ(composite->rep_value(over), 1000.0 + 10.0 * 10.0);
+  EXPECT_LT(composite->rep_value(over), composite->rep_value(far_over));
+}
+
+TEST(ObjectiveValues, FallsBackToRunTimesWithoutAlignedMetricRows) {
+  Measurement m = make_measurement({make_rep(100, 50, 10, 5, 8, 64),
+                                    make_rep(102, 51, 10, 6, 9, 65)});
+  m.rep_metrics.clear();  // e.g. a measurement replayed from an old journal
+  const auto pause = make_objective("pause_max");
+  EXPECT_EQ(pause->rep_values(m), m.times_ms);
+  EXPECT_DOUBLE_EQ(m.objective(*pause), m.objective());
+}
+
+// ---------------------------------------------------------------------------
+// Convergence on negated scalars (throughput streams have negative means)
+
+TEST(MeasurementPolicyObjectives, ConvergesOnTightNegativeSamples) {
+  MeasurementPolicyOptions options;
+  options.adaptive = true;
+  RunningStat negative;
+  RunningStat positive;
+  for (double x : {100.0, 100.2, 99.8, 100.1}) {
+    positive.add(x);
+    negative.add(-x);
+  }
+  MeasurementPolicy policy(options, IncumbentSnapshot{});
+  // The CI test scales by |mean|, so a mirrored stream decides identically.
+  EXPECT_EQ(policy.after_rep(negative), policy.after_rep(positive));
+  EXPECT_EQ(policy.after_rep(negative),
+            MeasurementPolicy::Decision::kConverged);
+}
+
+// ---------------------------------------------------------------------------
+// RunResult::throughput crash clamp
+
+TEST(RunResultThroughput, CrashedRunsReportZeroEvenWithPartialWork) {
+  RunResult run;
+  run.total_time = SimTime::seconds(10);
+  run.work_done = 500;
+  EXPECT_DOUBLE_EQ(run.throughput(), 50.0);
+  run.crashed = true;  // partial work before dying must not be credited
+  EXPECT_DOUBLE_EQ(run.throughput(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Unknown-label surfacing (fault/stop readers)
+
+TEST(LabelReaders, ReportWhetherTheLabelWasKnown) {
+  bool known = false;
+  EXPECT_EQ(fault_class_from_string("transient", &known),
+            FaultClass::kTransient);
+  EXPECT_TRUE(known);
+  EXPECT_EQ(fault_class_from_string("none", &known), FaultClass::kNone);
+  EXPECT_TRUE(known);
+  EXPECT_EQ(fault_class_from_string("gremlin", &known), FaultClass::kNone);
+  EXPECT_FALSE(known);
+
+  EXPECT_EQ(stop_reason_from_string("raced_out", &known),
+            StopReason::kRacedOut);
+  EXPECT_TRUE(known);
+  EXPECT_EQ(stop_reason_from_string("full", &known), StopReason::kFull);
+  EXPECT_TRUE(known);
+  EXPECT_EQ(stop_reason_from_string("exploded", &known), StopReason::kFull);
+  EXPECT_FALSE(known);
+}
+
+TEST(LabelReaders, JournalSurfacesUnknownLabelsAsStructuredWarnings) {
+  set_log_level(LogLevel::kError);
+  const std::string path = temp_path("unknown_labels.jsonl");
+  {
+    SessionJournal journal = SessionJournal::create(path);
+    JournalMeta meta;
+    meta.workload = "w";
+    meta.tuner = "t";
+    journal.write_meta(meta);
+    JournalEval eval;
+    eval.seq = 0;
+    eval.fingerprint = 42;
+    eval.times_ms = {100.0};
+    journal.append(eval);
+  }
+  // Forge a future-version record: swap the fault and stop labels for ones
+  // this build does not know, recomputing the content checksum so the line
+  // still reads as valid (a corrupt line would be *dropped*, which is the
+  // other, already-tested path).
+  std::istringstream in(slurp(path));
+  std::string meta_line;
+  std::string eval_line;
+  std::getline(in, meta_line);
+  std::getline(in, eval_line);
+  std::string body = eval_line.substr(0, eval_line.size() - 26) + "}";
+  auto replace = [&](const std::string& from, const std::string& to) {
+    const std::size_t at = body.find(from);
+    ASSERT_NE(at, std::string::npos) << body;
+    body.replace(at, from.size(), to);
+  };
+  replace("\"fault\":\"none\"", "\"fault\":\"gremlin\"");
+  replace("\"stop\":\"full\"", "\"stop\":\"warped\"");
+  char crc[32];
+  std::snprintf(crc, sizeof crc, ",\"crc\":\"%016llx\"}",
+                static_cast<unsigned long long>(fnv1a64(body)));
+  body.pop_back();
+  spit(path, meta_line + "\n" + body + crc + "\n");
+
+  SessionJournal reread = SessionJournal::resume(path);
+  ASSERT_EQ(reread.committed().size(), 1u);
+  EXPECT_EQ(reread.dropped_records(), 0u);
+  // The labels read as clean — but never silently.
+  EXPECT_EQ(reread.committed()[0].fault, FaultClass::kNone);
+  EXPECT_EQ(reread.committed()[0].stop, StopReason::kFull);
+  ASSERT_EQ(reread.warnings().size(), 2u);
+  EXPECT_EQ(reread.warnings()[0].field, "fault");
+  EXPECT_EQ(reread.warnings()[0].value, "gremlin");
+  EXPECT_EQ(reread.warnings()[1].field, "stop");
+  EXPECT_EQ(reread.warnings()[1].value, "warped");
+  set_log_level(LogLevel::kWarn);
+}
+
+// ---------------------------------------------------------------------------
+// Runner metric rows
+
+TEST(RunnerMetrics, RecordsOneAlignedRowPerRepetition) {
+  JvmSimulator simulator;
+  RunnerOptions options;
+  options.repetitions = 3;
+  BenchmarkRunner runner(simulator, find_workload("startup.serial"), options);
+  const Measurement m = runner.measure(Configuration(FlagRegistry::hotspot()));
+  ASSERT_TRUE(m.valid());
+  ASSERT_EQ(m.rep_metrics.size(), m.times_ms.size());
+  for (std::size_t i = 0; i < m.times_ms.size(); ++i) {
+    // The invariant every objective builds on: the first metric column *is*
+    // the canonical run-time stream, bit for bit.
+    EXPECT_EQ(m.rep_metrics[i][MetricId::kTotalTimeMs], m.times_ms[i]);
+    EXPECT_GT(m.rep_metrics[i][MetricId::kThroughput], 0);
+    EXPECT_GT(m.rep_metrics[i][MetricId::kPeakHeapMb], 0);
+    EXPECT_GE(m.rep_metrics[i][MetricId::kGcPauseMaxMs], 0);
+    EXPECT_LE(m.rep_metrics[i][MetricId::kGcPauseMaxMs],
+              m.rep_metrics[i][MetricId::kGcPauseTotalMs] + 1e-9);
+    EXPECT_LT(m.rep_metrics[i][MetricId::kStartupTimeMs], m.times_ms[i]);
+  }
+  EXPECT_EQ(m.objective(run_time_objective()), m.objective());
+}
+
+// ---------------------------------------------------------------------------
+// Session-level contracts
+
+SessionOptions golden_session_options() {
+  SessionOptions options;
+  options.budget = SimTime::minutes(20);
+  options.seed = 7;
+  return options;
+}
+
+TEST(SessionObjectives, RunTimeLogIsByteIdenticalToThePreObjectiveGolden) {
+  set_log_level(LogLevel::kError);
+  JvmSimulator simulator;
+  TuningSession session(simulator, find_workload("startup.serial"),
+                        golden_session_options());
+  HierarchicalTuner tuner;
+  const TuningOutcome outcome = session.run(tuner);
+  EXPECT_EQ(outcome.objective_id, "run_time");
+
+  const std::string csv_path = temp_path("golden_check.csv");
+  ASSERT_TRUE(outcome.db->save_csv(csv_path));
+  const std::string golden = slurp(std::string(JAT_GOLDEN_DIR) +
+                                   "/run_time_eval_log.csv");
+  ASSERT_FALSE(golden.empty());
+  // Byte-for-byte: the objective refactor must not move a single digit of
+  // the default run_time trajectory.
+  EXPECT_EQ(slurp(csv_path), golden);
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(SessionObjectives, ExplicitRunTimeObjectiveIsTheDefaultBitForBit) {
+  set_log_level(LogLevel::kError);
+  JvmSimulator simulator;
+  const WorkloadSpec& workload = find_workload("startup.serial");
+
+  SessionOptions defaulted = golden_session_options();
+  SessionOptions explicit_obj = golden_session_options();
+  explicit_obj.objective = make_objective("run_time");
+
+  HierarchicalTuner tuner_a;
+  HierarchicalTuner tuner_b;
+  const TuningOutcome a =
+      TuningSession(simulator, workload, defaulted).run(tuner_a);
+  const TuningOutcome b =
+      TuningSession(simulator, workload, explicit_obj).run(tuner_b);
+  EXPECT_EQ(a.best_config.fingerprint(), b.best_config.fingerprint());
+  EXPECT_EQ(a.best_ms, b.best_ms);
+  EXPECT_EQ(a.default_ms, b.default_ms);
+
+  const std::string path_a = temp_path("default.csv");
+  const std::string path_b = temp_path("explicit.csv");
+  ASSERT_TRUE(a.db->save_csv(path_a));
+  ASSERT_TRUE(b.db->save_csv(path_b));
+  EXPECT_EQ(slurp(path_a), slurp(path_b));
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(SessionObjectives, TrajectoryIsThreadCountInvariantUnderAnyObjective) {
+  set_log_level(LogLevel::kError);
+  JvmSimulator simulator;
+  const WorkloadSpec& workload = find_workload("startup.serial");
+  for (const char* spec : {"run_time", "pause_max"}) {
+    SessionOptions serial = golden_session_options();
+    serial.objective = make_objective(spec);
+    SessionOptions threaded = serial;
+    threaded.eval_threads = 4;
+    HierarchicalTuner tuner_a;
+    HierarchicalTuner tuner_b;
+    const TuningOutcome a =
+        TuningSession(simulator, workload, serial).run(tuner_a);
+    const TuningOutcome b =
+        TuningSession(simulator, workload, threaded).run(tuner_b);
+    EXPECT_EQ(a.best_config.fingerprint(), b.best_config.fingerprint())
+        << spec;
+    EXPECT_EQ(a.best_ms, b.best_ms) << spec;
+    EXPECT_EQ(a.evaluations, b.evaluations) << spec;
+  }
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(SessionObjectives, PauseMaxSessionWritesTheExtendedSchema) {
+  set_log_level(LogLevel::kError);
+  JvmSimulator simulator;
+  SessionOptions options = golden_session_options();
+  options.budget = SimTime::minutes(5);
+  options.objective = make_objective("pause_max");
+  const std::string journal_path = temp_path("pause.jsonl");
+  SessionJournal journal = SessionJournal::create(journal_path);
+  options.journal = &journal;
+  TuningSession session(simulator, find_workload("startup.serial"), options);
+  HierarchicalTuner tuner;
+  const TuningOutcome outcome = session.run(tuner);
+  EXPECT_EQ(outcome.objective_id, "pause_max");
+  EXPECT_TRUE(std::isfinite(outcome.best_ms));
+
+  const std::string csv_path = temp_path("pause.csv");
+  ASSERT_TRUE(outcome.db->save_csv(csv_path));
+  const std::string csv = slurp(csv_path);
+  EXPECT_NE(csv.find("objective,objective_value"), std::string::npos);
+  EXPECT_NE(csv.find("gc_pause_max_ms"), std::string::npos);
+  EXPECT_NE(csv.find(",pause_max,"), std::string::npos);
+
+  journal.flush();
+  const std::string journaled = slurp(journal_path);
+  // Non-run_time sessions bump the journal to version 2 and pin the
+  // objective id + per-record metric vectors for bit-identical resume.
+  EXPECT_NE(journaled.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(journaled.find("\"objective\":\"pause_max\""), std::string::npos);
+  EXPECT_NE(journaled.find("\"metrics\":"), std::string::npos);
+  set_log_level(LogLevel::kWarn);
+}
+
+TEST(SessionObjectives, RunTimeJournalStaysVersionOneWithoutObjectiveField) {
+  JvmSimulator simulator;
+  TuningSession session(simulator, find_workload("startup.serial"),
+                        golden_session_options());
+  const JournalMeta meta = session.journal_meta("hierarchical");
+  EXPECT_EQ(meta.version, SessionJournal::kVersion);
+  EXPECT_EQ(meta.objective, "run_time");
+  EXPECT_EQ(SessionJournal::version_for_objective("run_time"),
+            SessionJournal::kVersion);
+  EXPECT_EQ(SessionJournal::version_for_objective("pause_max"),
+            SessionJournal::kVersionObjectives);
+}
+
+// ---------------------------------------------------------------------------
+// Suite sessions and negated objectives
+
+TEST(SuiteObjectives, RejectsNegatedObjectives) {
+  JvmSimulator simulator;
+  RunnerOptions options;
+  options.objective = make_objective("throughput");
+  const std::vector<WorkloadSpec> suite = {find_workload("startup.serial"),
+                                           find_workload("startup.compress")};
+  EXPECT_THROW(SuiteRunner(simulator, suite, options), ObjectiveError);
+}
+
+TEST(SuiteObjectives, RejectsDefaultsTheObjectiveCannotNormaliseBy) {
+  JvmSimulator simulator;
+  RunnerOptions options;
+  options.objective = make_objective("pause_max");
+  // startup.compress allocates so little that the defaults never pause:
+  // a zero default makes the value/default ratio meaningless, and the
+  // suite must say so up front instead of dividing by it.
+  const std::vector<WorkloadSpec> suite = {find_workload("startup.compress")};
+  EXPECT_THROW(SuiteRunner(simulator, suite, options), ObjectiveError);
+}
+
+TEST(SuiteObjectives, ScoresMembersWithThePositiveScaleObjective) {
+  JvmSimulator simulator;
+  RunnerOptions options;
+  options.objective = make_objective("pause_max");
+  const std::vector<WorkloadSpec> suite = {find_workload("startup.serial"),
+                                           find_workload("lusearch")};
+  SuiteRunner runner(simulator, suite, options);
+  // The defaults normalise to exactly 1000 under *any* member objective.
+  const Measurement defaults =
+      runner.measure(Configuration(FlagRegistry::hotspot()));
+  ASSERT_TRUE(defaults.valid());
+  EXPECT_NEAR(defaults.times_ms[0], 1000.0, 1e-9);
+  for (double value : runner.default_times_ms()) {
+    EXPECT_GT(value, 0);
+    EXPECT_TRUE(std::isfinite(value));
+  }
+}
+
+}  // namespace
+}  // namespace jat

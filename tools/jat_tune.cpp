@@ -67,6 +67,12 @@ void usage() {
       "  --budget MINUTES    tuning budget in simulated minutes (default 200)\n"
       "  --tuner NAME        hierarchical | random | hillclimb | annealing |\n"
       "                      genetic | bandit | ils | subset (default: hierarchical)\n"
+      "  --objective SPEC    what the search minimizes: run_time (default) |\n"
+      "                      startup_time | throughput | pause_max | footprint |\n"
+      "                      composite[:pause_limit_ms=L,penalty=P]\n"
+      "                      (see --list-objectives); non-default objectives\n"
+      "                      extend the CSV log with per-metric columns\n"
+      "  --list-objectives   list the built-in objectives and exit\n"
       "  --seed N            master seed (default 2015)\n"
       "  --reps N            timed repetitions per candidate (default 3)\n"
       "  --threads N         parallel candidate evaluation threads\n"
@@ -160,8 +166,13 @@ int tune_one(const std::string& workload_name, const SessionOptions& options,
   }
   std::printf("\n%-22s %s\n", "workload", outcome.workload_name.c_str());
   std::printf("%-22s %s\n", "tuner", outcome.tuner_name.c_str());
-  std::printf("%-22s %s ms -> %s ms  (%s, speedup %.2fx)\n", "validated result",
-              fmt(outcome.default_ms, 0).c_str(), fmt(outcome.best_ms, 0).c_str(),
+  if (outcome.objective_id != "run_time") {
+    std::printf("%-22s %s\n", "objective", outcome.objective_id.c_str());
+  }
+  const char* unit = options.objective ? options.objective->unit() : "ms";
+  std::printf("%-22s %s %s -> %s %s  (%s, speedup %.2fx)\n", "validated result",
+              fmt(outcome.default_ms, 0).c_str(), unit,
+              fmt(outcome.best_ms, 0).c_str(), unit,
               format_percent(outcome.improvement_frac()).c_str(),
               outcome.speedup());
   std::printf("%-22s %lld configurations, %lld JVM runs, %s budget spent\n",
@@ -281,6 +292,7 @@ int main(int argc, char** argv) {
   std::string workload;
   std::string suite;
   std::string tuner_name = "hierarchical";
+  std::string objective_spec;
   std::string out_path;
   std::string replay_path;
   std::string trace_path;
@@ -311,6 +323,13 @@ int main(int argc, char** argv) {
       options.budget = jat::SimTime::minutes(std::atof(next()));
     } else if (arg == "--tuner") {
       tuner_name = next();
+    } else if (arg == "--objective") {
+      objective_spec = next();
+    } else if (arg == "--list-objectives") {
+      for (const std::string& line : list_objectives()) {
+        std::printf("%s\n", line.c_str());
+      }
+      return 0;
     } else if (arg == "--seed") {
       options.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--reps") {
@@ -387,6 +406,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!objective_spec.empty()) {
+    try {
+      options.objective = make_objective(objective_spec);
+    } catch (const ObjectiveError& error) {
+      // Exit 2, not 1: a misspelt objective is a usage error, and scripts
+      // can tell it apart from a failed tuning run.
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 2;
+    }
+  }
+
   if (!replay_path.empty()) {
     if (workload.empty()) {
       std::fprintf(stderr, "error: --replay needs --workload\n");
@@ -449,6 +479,9 @@ int main(int argc, char** argv) {
       // overridden from the command line.
       const JournalMeta& meta = journal->meta();
       tuner_name = meta.tuner;
+      options.objective = meta.objective == "run_time"
+                              ? nullptr
+                              : make_objective(meta.objective);
       options.budget = meta.budget;
       options.seed = meta.seed;
       options.repetitions = meta.repetitions;
