@@ -5,9 +5,13 @@
 // 200-minute tuning session replays in well under a second.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/store.hpp"
 #include "flags/validate.hpp"
 #include "harness/runner.hpp"
 #include "harness/sandbox.hpp"
@@ -183,6 +187,111 @@ BENCHMARK(BM_JournalReplayLoad)
     ->Arg(100)->Arg(1000)
     ->ArgName("records")
     ->Unit(benchmark::kMicrosecond);
+
+StoreRecord bench_store_record(std::uint64_t cfg) {
+  StoreRecord record;
+  record.key = StoreKey{0x5eedULL, 0xf00dULL, cfg, "run_time"};
+  record.workload = "bench";
+  record.command_line = "-XX:NewRatio=3 -XX:+UseParallelGC";
+  record.times_ms = {5431.25, 5440.5, 5433.75};
+  record.rep_metrics.resize(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    record.rep_metrics[i][MetricId::kTotalTimeMs] = record.times_ms[i];
+  }
+  record.objective_value = 5435.166666666667;
+  record.stop = StopReason::kFull;
+  return record;
+}
+
+void remove_bench_store(const std::string& dir) {
+  std::remove((dir + "/store.jsonl").c_str());
+  ::rmdir(dir.c_str());
+}
+
+void BM_StoreAppend(benchmark::State& state) {
+  // Write-behind tax per novel measurement: one encoded record, one
+  // O_APPEND write(2) under the advisory lock. Compare BM_JournalAppend —
+  // same dialect, different file discipline.
+  const std::string dir = "bench_m8_store_append.tmp";
+  remove_bench_store(dir);
+  auto store = ResultStore::open(dir);
+  std::uint64_t cfg = 1;
+  for (auto _ : state) {
+    store->put(bench_store_record(cfg++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cfg) - 1);
+  store.reset();
+  remove_bench_store(dir);
+}
+BENCHMARK(BM_StoreAppend)->UseRealTime();
+
+void BM_StoreLookup(benchmark::State& state) {
+  // Read-through hit path: the in-memory index probe a session pays when a
+  // proposed configuration was already measured by an earlier session.
+  const std::string dir = "bench_m8_store_lookup.tmp";
+  remove_bench_store(dir);
+  auto store = ResultStore::open(dir);
+  constexpr std::uint64_t kRecords = 1000;
+  for (std::uint64_t cfg = 1; cfg <= kRecords; ++cfg) {
+    store->put(bench_store_record(cfg));
+  }
+  std::uint64_t cfg = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store->lookup(StoreKey{0x5eedULL, 0xf00dULL, cfg, "run_time"}));
+    cfg = cfg % kRecords + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+  store.reset();
+  remove_bench_store(dir);
+}
+BENCHMARK(BM_StoreLookup);
+
+void BM_StoreOpenLoad(benchmark::State& state) {
+  // Session-start cost of a warm store: parse + checksum-verify the whole
+  // index. Items/s is records/s over a store of `range(0)` results.
+  const std::string dir = "bench_m8_store_open.tmp";
+  remove_bench_store(dir);
+  const std::int64_t records = state.range(0);
+  {
+    auto store = ResultStore::open(dir);
+    for (std::int64_t cfg = 1; cfg <= records; ++cfg) {
+      store->put(bench_store_record(static_cast<std::uint64_t>(cfg)));
+    }
+  }
+  std::int64_t loaded = 0;
+  for (auto _ : state) {
+    auto store = ResultStore::open(dir, {.read_only = true});
+    loaded += store->stats().records;
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(loaded);
+  remove_bench_store(dir);
+}
+BENCHMARK(BM_StoreOpenLoad)
+    ->Arg(100)->Arg(1000)
+    ->ArgName("records")
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StoreTopK(benchmark::State& state) {
+  // Warm-start seeding query: rank every stored result for a workload and
+  // keep the best k — runs once per session, over the whole index.
+  const std::string dir = "bench_m8_store_topk.tmp";
+  remove_bench_store(dir);
+  auto store = ResultStore::open(dir);
+  for (std::uint64_t cfg = 1; cfg <= 1000; ++cfg) {
+    StoreRecord record = bench_store_record(cfg);
+    record.objective_value += static_cast<double>(cfg % 97);
+    store->put(std::move(record));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->top_k(0x5eedULL, 0xf00dULL, "run_time", 5));
+  }
+  state.SetItemsProcessed(state.iterations());
+  store.reset();
+  remove_bench_store(dir);
+}
+BENCHMARK(BM_StoreTopK);
 
 void BM_SandboxRoundTrip(benchmark::State& state) {
   // Wire-protocol tax per sandboxed measurement: encode request, worker

@@ -20,16 +20,18 @@
 
 namespace jat {
 
-namespace {
-
 // Records are the trace JSONL dialect plus a trailing content checksum:
 //   {...record fields...,"crc":"<16 hex digits>"}
 // The checksum is fnv1a64 over the serialised record *without* the crc
 // suffix, so any bit flip — even one that still parses as JSON — reads as
-// corruption and truncates cleanly instead of replaying garbage.
+// corruption and truncates cleanly instead of replaying garbage. The
+// encode/decode pair is public (journal.hpp): the result store persists
+// its records through the same dialect.
+namespace {
 constexpr std::size_t kCrcSuffixLen = 8 /* ,"crc":" */ + 16 /* hex */ + 2 /* "} */;
+}  // namespace
 
-std::string encode_record(const TraceEvent& event) {
+std::string journal_encode_record(const TraceEvent& event) {
   std::string body = to_json(event);
   char crc[32];
   std::snprintf(crc, sizeof crc, ",\"crc\":\"%016llx\"}",
@@ -39,10 +41,8 @@ std::string encode_record(const TraceEvent& event) {
   return body;
 }
 
-/// Checks the checksum and parses the record; nullopt on any corruption
-/// (bad suffix, checksum mismatch, unparseable body).
-std::optional<TraceEvent> decode_record(const std::string& line,
-                                        std::size_t line_no) {
+std::optional<TraceEvent> journal_decode_record(const std::string& line,
+                                                std::size_t line_no) {
   if (line.size() <= kCrcSuffixLen) return std::nullopt;
   const std::size_t marker = line.size() - kCrcSuffixLen;
   if (line.compare(marker, 8, ",\"crc\":\"") != 0 ||
@@ -63,28 +63,22 @@ std::optional<TraceEvent> decode_record(const std::string& line,
   }
 }
 
-std::string render_hex(std::uint64_t value) { return fingerprint_hex(value); }
-
-std::uint64_t parse_hex(const std::string& text) {
-  return std::strtoull(text.c_str(), nullptr, 16);
-}
-
-std::string render_double(double value) {
+std::string journal_render_double(double value) {
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.17g", value);
   return buf;
 }
 
-std::string render_times(const std::vector<double>& times_ms) {
+std::string journal_render_doubles(const std::vector<double>& values) {
   std::string out;
-  for (double t : times_ms) {
+  for (double t : values) {
     if (!out.empty()) out += ' ';
-    out += render_double(t);
+    out += journal_render_double(t);
   }
   return out;
 }
 
-std::vector<double> parse_times(const std::string& text) {
+std::vector<double> journal_parse_doubles(const std::string& text) {
   std::vector<double> out;
   const char* p = text.c_str();
   while (*p != '\0') {
@@ -96,6 +90,20 @@ std::vector<double> parse_times(const std::string& text) {
     while (*p == ' ') ++p;
   }
   return out;
+}
+
+namespace {
+
+constexpr auto* encode_record = &journal_encode_record;
+constexpr auto* decode_record = &journal_decode_record;
+constexpr auto* render_double = &journal_render_double;
+constexpr auto* render_times = &journal_render_doubles;
+constexpr auto* parse_times = &journal_parse_doubles;
+
+std::string render_hex(std::uint64_t value) { return fingerprint_hex(value); }
+
+std::uint64_t parse_hex(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 16);
 }
 
 TraceEvent meta_to_event(const JournalMeta& meta) {

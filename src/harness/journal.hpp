@@ -31,6 +31,7 @@
 #include "harness/measurement.hpp"
 #include "support/error.hpp"
 #include "support/sim_time.hpp"
+#include "support/trace.hpp"
 
 namespace jat {
 
@@ -235,6 +236,34 @@ class SessionJournal {
   bool ended_ = false;
   std::mutex mutex_;
 };
+
+// ---- journal record dialect -------------------------------------------------
+//
+// Shared with the cross-session result store (harness/store.hpp), which
+// persists its records through the exact same on-disk form: one trace-JSONL
+// object per line plus a trailing `,"crc":"<16 hex>"}` FNV-1a content
+// checksum, appended with a single write(2) and read back by a tolerant
+// reader that treats any checksum or parse failure as corruption.
+
+/// Serialises one record: the trace JSONL form of `event` with the CRC
+/// suffix spliced in before the closing brace.
+std::string journal_encode_record(const TraceEvent& event);
+
+/// Checksum-validating inverse of journal_encode_record(); nullopt on any
+/// corruption (bad suffix, checksum mismatch, unparseable body). `line_no`
+/// only labels diagnostics.
+std::optional<TraceEvent> journal_decode_record(const std::string& line,
+                                                std::size_t line_no);
+
+/// %.17g rendering used for every double in journal/store records — the
+/// shortest decimal form that round-trips each bit.
+std::string journal_render_double(double value);
+
+/// Space-separated %.17g stream (times_ms, metric rows, feature vectors)
+/// and its parser. The parser stops at the first unparseable token, so a
+/// damaged stream yields a shorter vector, never a crash.
+std::string journal_render_doubles(const std::vector<double>& values);
+std::vector<double> journal_parse_doubles(const std::string& text);
 
 /// Fingerprint of a flag space for JournalMeta::space_fingerprint.
 std::uint64_t space_fingerprint(const FlagRegistry& registry);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "harness/journal.hpp"
 #include "support/rng.hpp"
 
 namespace jat {
@@ -15,7 +16,11 @@ constexpr double kCacheHitOverheadSeconds = 0.05;
 
 BenchmarkRunner::BenchmarkRunner(const JvmSimulator& simulator,
                                  WorkloadSpec workload, RunnerOptions options)
-    : simulator_(&simulator), workload_(std::move(workload)), options_(options) {}
+    : simulator_(&simulator), workload_(std::move(workload)), options_(options) {
+  if (options_.store != nullptr) {
+    workload_fp_ = workload_fingerprint(workload_);
+  }
+}
 
 FaultStats BenchmarkRunner::stats() const {
   std::lock_guard lock(mutex_);
@@ -45,6 +50,62 @@ void BenchmarkRunner::trace_cache_hit(std::uint64_t fingerprint, bool joined,
                    .with("joined", joined));
   trace_->metrics().add(joined ? "runner.single_flight_joins"
                                : "runner.cache_hits");
+}
+
+const Measurement* BenchmarkRunner::store_lookup(const Configuration& config,
+                                                 std::uint64_t fingerprint) {
+  if (options_.store == nullptr || !options_.store_reads) return nullptr;
+  if (!space_fp_known_) {
+    space_fp_ = space_fingerprint(config.registry());
+    space_fp_known_ = true;
+  }
+  const std::string& objective_id =
+      (options_.objective ? *options_.objective : run_time_objective()).id();
+  const StoreRecord* record = options_.store->lookup(
+      StoreKey{space_fp_, workload_fp_, fingerprint, objective_id});
+  if (record == nullptr) return nullptr;
+  const auto [it, inserted] =
+      cache_.emplace(fingerprint, record->to_measurement());
+  ++store_hits_;
+  return &it->second;
+}
+
+void BenchmarkRunner::store_put(const Configuration& config,
+                                const Measurement& measurement) {
+  if (options_.store == nullptr) return;
+  // Only trustworthy records transfer: valid and complete. Raced-out,
+  // budget-cut, and cancelled measurements are truncated summaries;
+  // crashes are workload-specific and cheap to re-discover.
+  if (!measurement.valid()) return;
+  if (measurement.stop != StopReason::kFull &&
+      measurement.stop != StopReason::kConverged) {
+    return;
+  }
+  const Objective& objective =
+      options_.objective ? *options_.objective : run_time_objective();
+  StoreRecord record;
+  record.key.workload_fingerprint = workload_fp_;
+  record.key.config_fingerprint = measurement.config_fingerprint;
+  record.key.objective = objective.id();
+  record.workload = workload_.name;
+  record.command_line = config.render_command_line();
+  record.objective_value = measurement.objective(objective);
+  record.times_ms = measurement.times_ms;
+  record.rep_metrics = measurement.rep_metrics;
+  record.stop = measurement.stop;
+  record.failed_reps = measurement.failed_reps;
+  record.seed = options_.seed;
+  {
+    std::lock_guard lock(mutex_);
+    if (!space_fp_known_) {
+      space_fp_ = space_fingerprint(config.registry());
+      space_fp_known_ = true;
+    }
+    record.key.space_fingerprint = space_fp_;
+    ++store_appends_;
+  }
+  options_.store->put(std::move(record));
+  if (trace_ != nullptr) trace_->metrics().add("runner.store_appends");
 }
 
 Measurement BenchmarkRunner::measure(const Configuration& config,
@@ -85,6 +146,19 @@ Measurement BenchmarkRunner::measure(const Configuration& config,
       if (in_flight != in_flight_.end()) {
         flight = in_flight->second;
       } else {
+        // Read-through: a miss answered by the cross-session store charges
+        // zero budget — the record was paid for by the session that
+        // measured it — and lands in the cache like any measurement.
+        if (const Measurement* stored = store_lookup(config, fingerprint)) {
+          if (trace_ != nullptr) {
+            trace_->emit(
+                TraceEvent("store_hit", budget != nullptr ? budget->spent()
+                                                          : SimTime::zero())
+                    .with("fingerprint", fingerprint_hex(fingerprint)));
+            trace_->metrics().add("runner.store_hits");
+          }
+          return *stored;
+        }
         flight = std::make_shared<InFlight>();
         in_flight_.emplace(fingerprint, flight);
         leader = true;
@@ -143,6 +217,7 @@ Measurement BenchmarkRunner::measure(const Configuration& config,
     flight->done = true;
   }
   flight->cv.notify_all();
+  store_put(config, measurement);
   return measurement;
 }
 

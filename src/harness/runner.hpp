@@ -17,6 +17,7 @@
 #include "harness/fault.hpp"
 #include "harness/measurement.hpp"
 #include "harness/objective.hpp"
+#include "harness/store.hpp"
 #include "jvmsim/engine.hpp"
 #include "support/trace.hpp"
 #include "workloads/workload.hpp"
@@ -54,6 +55,17 @@ struct RunnerOptions {
   /// run_time_objective(), whose stream is `times_ms` itself — the
   /// historical behaviour, bit-identical.
   std::shared_ptr<const Objective> objective;
+  /// Cross-session result store (store.hpp): a read-through/write-behind
+  /// tier below the in-memory cache. A cache miss answered by the store
+  /// charges *zero* budget (the record was paid for by a previous session)
+  /// and emits a `store_hit` trace event; complete measurements (kFull /
+  /// kConverged, valid) are written behind. Null disables the tier — the
+  /// runner is then bit-identical to the store-less version.
+  std::shared_ptr<ResultStore> store;
+  /// When false, the store is write-behind only: prior results are never
+  /// read back (jat_tune --no-store-reads), so this session measures
+  /// everything itself while still publishing for future sessions.
+  bool store_reads = true;
 };
 
 class BenchmarkRunner : public Evaluator {
@@ -90,6 +102,10 @@ class BenchmarkRunner : public Evaluator {
   /// Number of simulated JVM runs launched so far (cache misses only).
   std::int64_t runs_executed() const { return runs_executed_; }
   std::int64_t cache_hits() const { return cache_hits_; }
+  /// Cache misses answered by the cross-session store (zero budget) and
+  /// complete measurements written behind to it, respectively.
+  std::int64_t store_hits() const { return store_hits_; }
+  std::int64_t store_appends() const { return store_appends_; }
 
   /// Attaches a trace sink (null to detach): cache hits and single-flight
   /// joins are emitted as `cache_hit` events and counted in the sink's
@@ -149,6 +165,12 @@ class BenchmarkRunner : public Evaluator {
 
   void trace_cache_hit(std::uint64_t fingerprint, bool joined,
                        BudgetClock* budget);
+  /// Store read-through on a cache miss (mutex_ held): when the store has
+  /// this key, inserts the rebuilt measurement into cache_ and returns it.
+  const Measurement* store_lookup(const Configuration& config,
+                                  std::uint64_t fingerprint);
+  /// Write-behind (call without mutex_): publishes a complete measurement.
+  void store_put(const Configuration& config, const Measurement& measurement);
 
   const JvmSimulator* simulator_;
   WorkloadSpec workload_;
@@ -162,6 +184,13 @@ class BenchmarkRunner : public Evaluator {
   std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> in_flight_;
   std::int64_t runs_executed_ = 0;
   std::int64_t cache_hits_ = 0;
+  std::int64_t store_hits_ = 0;
+  std::int64_t store_appends_ = 0;
+  /// Store-key components, computed once (mutex_ held for space_fp_, which
+  /// needs the first configuration's registry).
+  std::uint64_t workload_fp_ = 0;
+  std::uint64_t space_fp_ = 0;
+  bool space_fp_known_ = false;
   /// 0 until the first finite first rep. Atomic (not mutex_-guarded) so the
   /// sandbox parent can merge worker floors while a respawn fork() is in
   /// progress — a fork must never inherit a locked runner mutex.

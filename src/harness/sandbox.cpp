@@ -167,6 +167,8 @@ struct Reply {
   std::int64_t cost_us = 0;
   std::int64_t runs_delta = 0;
   std::int64_t cache_hits_delta = 0;
+  std::int64_t store_hits_delta = 0;
+  std::int64_t store_appends_delta = 0;
   double racing_floor_ms = 0.0;
   FaultStats stats_delta;
   std::vector<double> times_ms;
@@ -224,6 +226,8 @@ std::string encode_reply(const Reply& reply) {
   append_i64(p, reply.cost_us);
   append_i64(p, reply.runs_delta);
   append_i64(p, reply.cache_hits_delta);
+  append_i64(p, reply.store_hits_delta);
+  append_i64(p, reply.store_appends_delta);
   append_f64(p, reply.racing_floor_ms);
   append_stats(p, reply.stats_delta);
   append_u32(p, static_cast<std::uint32_t>(reply.times_ms.size()));
@@ -250,6 +254,8 @@ bool decode_reply(const std::string& payload, Reply& reply) {
   reply.cost_us = r.i64();
   reply.runs_delta = r.i64();
   reply.cache_hits_delta = r.i64();
+  reply.store_hits_delta = r.i64();
+  reply.store_appends_delta = r.i64();
   reply.racing_floor_ms = r.f64();
   if (!read_stats(r, reply.stats_delta)) return false;
   const std::uint32_t n = r.u32();
@@ -574,12 +580,16 @@ void SandboxedEvaluator::spawn(Worker& worker) {
     reply.fingerprint = req.fingerprint;
     std::int64_t runs_before = 0;
     std::int64_t hits_before = 0;
+    std::int64_t store_hits_before = 0;
+    std::int64_t store_appends_before = 0;
     FaultStats stats_before;
     if (runner_ != nullptr) {
       runner_->set_time_limit(SimTime::micros(req.time_limit_us));
       runner_->set_racing_floor_ms(req.racing_floor_ms);
       runs_before = runner_->runs_executed();
       hits_before = runner_->cache_hits();
+      store_hits_before = runner_->store_hits();
+      store_appends_before = runner_->store_appends();
       stats_before = runner_->stats();
     }
 
@@ -615,6 +625,9 @@ void SandboxedEvaluator::spawn(Worker& worker) {
     if (runner_ != nullptr) {
       reply.runs_delta = runner_->runs_executed() - runs_before;
       reply.cache_hits_delta = runner_->cache_hits() - hits_before;
+      reply.store_hits_delta = runner_->store_hits() - store_hits_before;
+      reply.store_appends_delta =
+          runner_->store_appends() - store_appends_before;
       reply.racing_floor_ms = runner_->racing_floor_ms();
       FaultStats delta = runner_->stats();
       delta.transient -= stats_before.transient;
@@ -879,6 +892,8 @@ Measurement SandboxedEvaluator::measure(const Configuration& config,
     std::lock_guard stats_lock(stats_mutex_);
     runs_executed_ += reply.runs_delta;
     cache_hits_ += reply.cache_hits_delta;
+    store_hits_ += reply.store_hits_delta;
+    store_appends_ += reply.store_appends_delta;
     stats_ += reply.stats_delta;
   }
   if (trace_ != nullptr && reply.cache_hits_delta > 0) {
@@ -889,6 +904,17 @@ Measurement SandboxedEvaluator::measure(const Configuration& config,
                      .with("fingerprint", fingerprint_hex(fingerprint))
                      .with("joined", false));
     trace_->metrics().add("runner.cache_hits");
+  }
+  if (trace_ != nullptr && reply.store_hits_delta > 0) {
+    // Likewise mirror worker-side store hits (at most one per request:
+    // each request measures a single configuration).
+    trace_->emit(TraceEvent("store_hit",
+                            budget != nullptr ? budget->spent() : SimTime::zero())
+                     .with("fingerprint", fingerprint_hex(fingerprint)));
+    trace_->metrics().add("runner.store_hits");
+  }
+  if (trace_ != nullptr && reply.store_appends_delta > 0) {
+    trace_->metrics().add("runner.store_appends", reply.store_appends_delta);
   }
   return m;
 }
@@ -910,6 +936,16 @@ std::int64_t SandboxedEvaluator::runs_executed() const {
 std::int64_t SandboxedEvaluator::cache_hits() const {
   std::lock_guard lock(stats_mutex_);
   return cache_hits_;
+}
+
+std::int64_t SandboxedEvaluator::store_hits() const {
+  std::lock_guard lock(stats_mutex_);
+  return store_hits_;
+}
+
+std::int64_t SandboxedEvaluator::store_appends() const {
+  std::lock_guard lock(stats_mutex_);
+  return store_appends_;
 }
 
 std::int64_t SandboxedEvaluator::workers_spawned() const {

@@ -152,6 +152,12 @@ class SandboxedEvaluator : public Evaluator {
   std::int64_t runs_executed() const;
   /// Cache hits across all workers (from reply deltas; linked runner only).
   std::int64_t cache_hits() const;
+  /// Cross-session store activity across all workers (from reply deltas;
+  /// linked runner only): misses answered from the store and records
+  /// written behind. Workers reopen the store's file descriptor after
+  /// fork, so their appends lock and land independently of the parent's.
+  std::int64_t store_hits() const;
+  std::int64_t store_appends() const;
   std::int64_t workers_spawned() const;
   std::int64_t workers_respawned() const;
   std::int64_t deadline_kills() const;
@@ -190,6 +196,8 @@ class SandboxedEvaluator : public Evaluator {
   FaultStats stats_;
   std::int64_t runs_executed_ = 0;
   std::int64_t cache_hits_ = 0;
+  std::int64_t store_hits_ = 0;
+  std::int64_t store_appends_ = 0;
   std::int64_t workers_spawned_ = 0;
   std::int64_t workers_respawned_ = 0;
   std::int64_t deadline_kills_ = 0;

@@ -112,6 +112,13 @@ void reconstruct(SessionTrace& session) {
       ++session.sandbox_deaths;
     } else if (e.type == "sandbox_kill") {
       ++session.sandbox_kills;
+    } else if (e.type == "store_open") {
+      session.store_open = true;
+      session.store_records = e.get_int("records");
+    } else if (e.type == "store_hit") {
+      ++session.store_hits;
+    } else if (e.type == "warm_start") {
+      session.warm_seeds = e.get_int("seeds");
     } else if (e.type == "baseline") {
       session.baseline_ms = e.get_double("objective_ms");
     } else if (e.type == "validation") {
@@ -124,6 +131,8 @@ void reconstruct(SessionTrace& session) {
       session.improvement = e.get_double("improvement");
       session.runs = e.get_int("runs");
       session.budget_spent = SimTime::seconds(e.get_double("budget_spent_s"));
+      session.store_appends = e.get_int("store_appends");
+      session.charged_evaluations = e.get_int("charged_evaluations");
     }
   }
   if (!session.complete && session.default_ms > 0.0) {
@@ -229,6 +238,16 @@ const std::vector<EventSpec>& schema() {
        {{"fingerprint", FieldKind::kString}, {"reason", FieldKind::kString}}},
       {"quarantine_hit", {{"fingerprint", FieldKind::kString}}},
       {"breaker", {{"open", FieldKind::kBool}}},
+      {"store_open",
+       {{"path", FieldKind::kString},
+        {"records", FieldKind::kInt},
+        {"workloads", FieldKind::kInt},
+        {"read_only", FieldKind::kBool}}},
+      {"store_hit", {{"fingerprint", FieldKind::kString}}},
+      {"warm_start",
+       {{"seeds", FieldKind::kInt},
+        {"same_workload", FieldKind::kInt},
+        {"neighbors", FieldKind::kInt}}},
       {"journal_open",
        {{"path", FieldKind::kString},
         {"mode", FieldKind::kString},
@@ -363,6 +382,16 @@ std::string render_trace_report(const std::vector<SessionTrace>& sessions,
             << session.journal_replay_total << ")";
       }
       out << ", " << session.journal_flushed << " records flushed\n";
+    }
+    if (session.store_open || session.store_hits > 0 ||
+        session.warm_seeds > 0) {
+      out << "  store: " << session.store_records << " record(s) at open, "
+          << session.store_hits << " store hit(s), " << session.store_appends
+          << " appended, " << session.warm_seeds << " warm-start seed(s)";
+      if (session.charged_evaluations > 0) {
+        out << ", " << session.charged_evaluations << " charged evaluation(s)";
+      }
+      out << '\n';
     }
     if (session.cancelled) {
       out << "  cancelled: admission closed, " << session.drained

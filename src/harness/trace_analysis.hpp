@@ -89,6 +89,16 @@ struct SessionTrace {
   std::int64_t drained = 0;          ///< in-flight evals drained on cancel
   std::int64_t hang_cancelled = 0;   ///< hang_deadline events
 
+  // Cross-session result store counters (store_open / store_hit /
+  // warm_start events; zero/false for store-less sessions and traces
+  // predating the store).
+  bool store_open = false;           ///< a store_open event was seen
+  std::int64_t store_records = 0;    ///< deduped index size at store open
+  std::int64_t store_hits = 0;       ///< store_hit events (zero-budget)
+  std::int64_t store_appends = 0;    ///< records published (session_end)
+  std::int64_t warm_seeds = 0;       ///< warm-start seeds replayed
+  std::int64_t charged_evaluations = 0;  ///< nonzero-cost commits (session_end)
+
   // Out-of-process sandbox counters (sandbox_* / worker_* events; zero for
   // in-process sessions and traces predating the sandbox).
   std::int64_t sandbox_spawns = 0;   ///< sandbox_spawn events (incl. respawns)

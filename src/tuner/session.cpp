@@ -1,7 +1,12 @@
 #include "tuner/session.hpp"
 
+#include <optional>
+#include <set>
+
+#include "flags/parse.hpp"
 #include "tuner/legacy_adapter.hpp"
 #include "tuner/scheduler.hpp"
+#include "tuner/warm_start.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
@@ -65,9 +70,19 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   runner_options.racing_factor = options_.racing_factor;
   runner_options.policy = options_.measurement;
   runner_options.objective = options_.objective;
+  runner_options.store = options_.store;
+  runner_options.store_reads = options_.store_reads;
   BenchmarkRunner runner(*simulator_, workload_, runner_options);
   runner.set_cancellation(options_.cancel);
   const SearchSpace space(FlagHierarchy::hotspot());
+
+  // Cross-session store: register this workload's descriptor (the basis
+  // for other sessions' neighbor queries) before anything is measured, so
+  // the descriptor record precedes this session's results in the file.
+  if (options_.store != nullptr) {
+    options_.store->put_workload(space_fingerprint(space.registry()),
+                                 workload_);
+  }
 
   // The evaluation chain the tuner searches against: runner, optionally
   // relocated into forked worker processes by the sandbox, optionally a
@@ -125,6 +140,14 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
                     .with("resilient", options_.resilient)
                     .with("adaptive", options_.measurement.adaptive)
                     .with("resumed", resuming));
+    if (options_.store != nullptr) {
+      const StoreStats store_stats = options_.store->stats();
+      trace->emit(TraceEvent("store_open")
+                      .with("path", options_.store->path())
+                      .with("records", store_stats.records)
+                      .with("workloads", store_stats.workloads)
+                      .with("read_only", options_.store->read_only()));
+    }
   }
 
   // Durability: pin (fresh journal) or validate (resume) the session
@@ -204,8 +227,71 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
              << fmt(default_ms, 0) << ' ' << objective.unit() << ")";
   (void)default_ms;
 
+  // Warm-start transfer: replay prior configurations as a "warm_start"
+  // proposal prefix (tuner/warm_start.hpp). On resume the seed list is
+  // rebuilt from the journal's own warm_start records — never re-queried
+  // from the store, whose contents may have changed since — so the
+  // replayed trajectory matches whatever the original session proposed.
+  std::vector<Configuration> warm_seeds;
+  std::int64_t warm_same = 0;
+  std::int64_t warm_neighbors = 0;
+  if (resuming && journal != nullptr) {
+    for (const JournalEval& rec : journal->committed()) {
+      if (rec.phase != "warm_start") continue;
+      warm_seeds.push_back(
+          parse_command_line(space.registry(), rec.command_line));
+    }
+  } else if (options_.store != nullptr && options_.warm_start > 0) {
+    const std::uint64_t space_fp = space_fingerprint(space.registry());
+    const std::uint64_t wl_fp = workload_fingerprint(workload_);
+    const std::size_t k = static_cast<std::size_t>(options_.warm_start);
+    std::vector<const StoreRecord*> picks =
+        options_.store->top_k(space_fp, wl_fp, objective.id(), k);
+    warm_same = static_cast<std::int64_t>(picks.size());
+    const std::vector<const StoreRecord*> transfer = options_.store->neighbors(
+        space_fp, wl_fp, workload_features(workload_), objective.id(), k);
+    warm_neighbors = static_cast<std::int64_t>(transfer.size());
+    picks.insert(picks.end(), transfer.begin(), transfer.end());
+    // The baseline default is already committed; re-seeding it would only
+    // buy a duplicate row and a cache-hit charge.
+    std::set<std::uint64_t> seen{defaults.fingerprint()};
+    for (const StoreRecord* rec : picks) {
+      if (!seen.insert(rec->key.config_fingerprint).second) continue;
+      try {
+        Configuration cfg =
+            parse_command_line(space.registry(), rec->command_line);
+        if (cfg.fingerprint() != rec->key.config_fingerprint) {
+          log_warn() << "store warm-start: stored command line for "
+                     << fingerprint_hex(rec->key.config_fingerprint)
+                     << " parses to a different configuration; skipped";
+          continue;
+        }
+        warm_seeds.push_back(std::move(cfg));
+      } catch (const Error& e) {
+        // A seed from an incompatible flag space is a lost optimization,
+        // not a session failure.
+        log_warn() << "store warm-start: cannot parse stored config: "
+                   << e.what();
+      }
+    }
+  }
+  const std::int64_t warm_seed_count =
+      static_cast<std::int64_t>(warm_seeds.size());
+  if (trace != nullptr && (warm_seed_count > 0 || options_.warm_start > 0)) {
+    trace->emit(TraceEvent("warm_start", budget.spent())
+                    .with("seeds", warm_seed_count)
+                    .with("same_workload", warm_same)
+                    .with("neighbors", warm_neighbors));
+  }
+  std::optional<WarmStartStrategy> warm;
+  SearchStrategy* active = &strategy;
+  if (!warm_seeds.empty()) {
+    warm.emplace(strategy, std::move(warm_seeds));
+    active = &*warm;
+  }
+
   EvalScheduler scheduler(ctx, SchedulerOptions{options_.inflight});
-  scheduler.run(strategy);
+  scheduler.run(*active);
 
   if (resuming) {
     if (trace != nullptr) {
@@ -236,6 +322,8 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   validation_options.repetitions = std::max(5, options_.repetitions);
   validation_options.racing_factor = 0.0;  // full repetitions when it counts
   validation_options.policy = MeasurementPolicyOptions{};  // no early stops
+  validation_options.store = nullptr;  // fresh seeds: never answered (or
+                                       // published) by the store
   BenchmarkRunner validator(*simulator_, workload_, validation_options);
   Configuration best_config = ctx.best_config();
   const double search_best_ms = ctx.best_objective();
@@ -275,6 +363,13 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
                                 (sandbox ? sandbox->runs_executed() : 0),
                         .cache_hits = runner.cache_hits() +
                                       (sandbox ? sandbox->cache_hits() : 0),
+                        .store_hits = runner.store_hits() +
+                                      (sandbox ? sandbox->store_hits() : 0),
+                        .store_appends =
+                            runner.store_appends() +
+                            (sandbox ? sandbox->store_appends() : 0),
+                        .warm_seeds = warm_seed_count,
+                        .charged_evaluations = ctx.charged_evaluations(),
                         .budget_spent = budget.spent(),
                         .fault_stats = fault_stats,
                         .db = db,
@@ -300,16 +395,27 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
     trace->metrics().set_gauge("session.best_ms", outcome.best_ms);
     trace->metrics().set_gauge("session.improvement",
                                outcome.improvement_frac());
-    trace->emit(TraceEvent("session_end", budget.spent())
-                    .with("workload", workload_.name)
-                    .with("tuner", strategy.name())
-                    .with("default_ms", outcome.default_ms)
-                    .with("best_ms", outcome.best_ms)
-                    .with("improvement", outcome.improvement_frac())
-                    .with("evaluations", outcome.evaluations)
-                    .with("runs", outcome.runs)
-                    .with("cache_hits", outcome.cache_hits)
-                    .with("budget_spent_s", outcome.budget_spent.as_seconds()));
+    TraceEvent session_end =
+        TraceEvent("session_end", budget.spent())
+            .with("workload", workload_.name)
+            .with("tuner", strategy.name())
+            .with("default_ms", outcome.default_ms)
+            .with("best_ms", outcome.best_ms)
+            .with("improvement", outcome.improvement_frac())
+            .with("evaluations", outcome.evaluations)
+            .with("runs", outcome.runs)
+            .with("cache_hits", outcome.cache_hits)
+            .with("budget_spent_s", outcome.budget_spent.as_seconds());
+    // Store fields appear only on store-enabled sessions: store-less
+    // traces stay byte-identical to what they were before the store.
+    if (options_.store != nullptr) {
+      session_end.fields.emplace_back("store_hits", outcome.store_hits);
+      session_end.fields.emplace_back("store_appends", outcome.store_appends);
+      session_end.fields.emplace_back("warm_seeds", outcome.warm_seeds);
+      session_end.fields.emplace_back("charged_evaluations",
+                                      outcome.charged_evaluations);
+    }
+    trace->emit(std::move(session_end));
     TraceEvent metrics("metrics", budget.spent());
     for (const auto& [name, value] : trace->metrics().counters()) {
       metrics.fields.emplace_back("c." + name, value);
@@ -328,6 +434,12 @@ TuningOutcome TuningSession::run_internal(SearchStrategy& strategy,
   if (fault_stats.failures() > 0 || fault_stats.quarantine_hits > 0 ||
       fault_stats.salvaged > 0) {
     log_info() << "  faults: " << fault_stats.to_string();
+  }
+  if (options_.store != nullptr) {
+    log_info() << "  store: " << outcome.store_hits << " hits, "
+               << outcome.store_appends << " appended, " << outcome.warm_seeds
+               << " warm seeds, " << outcome.charged_evaluations
+               << " charged evaluations";
   }
   return outcome;
 }

@@ -93,6 +93,21 @@ struct SessionOptions {
   /// evaluations already in flight, and the session returns its outcome
   /// early with TuningOutcome::cancelled set. Null disables cancellation.
   const CancellationToken* cancel = nullptr;
+  /// Cross-session result store (harness/store.hpp): a persistent
+  /// read-through/write-behind tier below the runner's in-memory cache.
+  /// Store hits charge zero budget; complete measurements are published
+  /// for future sessions. Null disables the tier entirely — sessions are
+  /// then bit-identical to the store-less behaviour.
+  std::shared_ptr<ResultStore> store;
+  /// Warm-start transfer (tuner/warm_start.hpp): replay up to this many
+  /// top prior configs for the same workload — plus up to the same number
+  /// of structural-neighbor configs from other workloads — as "warm_start"
+  /// phase evaluations before the strategy's first ask(). 0 disables.
+  /// Requires `store`.
+  int warm_start = 0;
+  /// When false the store is write-behind only (--no-store-reads): prior
+  /// results are never read back, but this session still publishes.
+  bool store_reads = true;
 };
 
 struct TuningOutcome {
@@ -121,6 +136,15 @@ struct TuningOutcome {
   std::int64_t evaluations = 0;  ///< configurations measured (incl. cached)
   std::int64_t runs = 0;         ///< simulated JVM launches
   std::int64_t cache_hits = 0;
+  /// Cross-session store activity: misses answered from the store (zero
+  /// budget), records published to it, and warm-start seeds replayed.
+  std::int64_t store_hits = 0;
+  std::int64_t store_appends = 0;
+  std::int64_t warm_seeds = 0;
+  /// Committed evaluations that charged nonzero budget — the session's
+  /// real measurement work (store hits are excluded; cache hits are not:
+  /// they charge the lookup overhead).
+  std::int64_t charged_evaluations = 0;
   SimTime budget_spent;
   /// Failure taxonomy + recovery actions over the whole session: rep-level
   /// counters from the runner, injected faults, and the resilience layer's

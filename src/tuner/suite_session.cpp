@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <set>
 
+#include "flags/parse.hpp"
 #include "tuner/legacy_adapter.hpp"
 #include "tuner/scheduler.hpp"
+#include "tuner/warm_start.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/units.hpp"
@@ -55,6 +59,18 @@ SuiteRunner::SuiteRunner(const JvmSimulator& simulator,
 
 void SuiteRunner::set_cancellation(const CancellationToken* token) {
   for (auto& runner : runners_) runner->set_cancellation(token);
+}
+
+std::int64_t SuiteRunner::store_hits() const {
+  std::int64_t total = 0;
+  for (const auto& runner : runners_) total += runner->store_hits();
+  return total;
+}
+
+std::int64_t SuiteRunner::store_appends() const {
+  std::int64_t total = 0;
+  for (const auto& runner : runners_) total += runner->store_appends();
+  return total;
 }
 
 std::vector<double> SuiteRunner::measure_each(const Configuration& config,
@@ -154,12 +170,25 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
   // stays on run_time semantics because the suite measurement is already a
   // scalar score (one "repetition" whose value *is* the objective).
   runner_options.objective = options_.objective;
+  // The store tier lives in the *member* runners: each workload's
+  // measurements are answered from (and published to) its own store
+  // namespace, so a suite session shares results with the single-workload
+  // sessions that tuned its members.
+  runner_options.store = options_.store;
+  runner_options.store_reads = options_.store_reads;
   SuiteRunner runner(*simulator_, workloads_, runner_options);
   runner.set_cancellation(options_.cancel);
 
   BudgetClock budget(options_.budget);
   auto db = std::make_shared<ResultDb>();
   const SearchSpace space(FlagHierarchy::hotspot());
+
+  if (options_.store != nullptr) {
+    const std::uint64_t space_fp = space_fingerprint(space.registry());
+    for (const WorkloadSpec& workload : workloads_) {
+      options_.store->put_workload(space_fp, workload);
+    }
+  }
 
   // Optional out-of-process execution: the whole SuiteRunner (its member
   // runners, baselines, and time limits are already set up above, so the
@@ -206,8 +235,55 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
       base_replayed ? ctx.replay_next(defaults) : ctx.measure_only(defaults);
   ctx.commit(defaults, base, base_replayed);  // score 1000 by construction
 
+  // Warm-start transfer, suite flavour: round-robin over the members'
+  // store namespaces (rank-0 of every member, then rank-1, ...) up to
+  // warm_start seeds, so no single workload's history dominates the seed
+  // set. On resume the seed list is rebuilt from the journal's own
+  // warm_start records, exactly as in TuningSession.
+  std::vector<Configuration> warm_seeds;
+  if (resuming && journal != nullptr) {
+    for (const JournalEval& rec : journal->committed()) {
+      if (rec.phase != "warm_start") continue;
+      warm_seeds.push_back(
+          parse_command_line(space.registry(), rec.command_line));
+    }
+  } else if (options_.store != nullptr && options_.warm_start > 0) {
+    const std::uint64_t space_fp = space_fingerprint(space.registry());
+    const std::string objective_id =
+        options_.objective ? options_.objective->id() : std::string("run_time");
+    const std::size_t k = static_cast<std::size_t>(options_.warm_start);
+    std::set<std::uint64_t> seen{defaults.fingerprint()};
+    for (std::size_t rank = 0; rank < k && warm_seeds.size() < k; ++rank) {
+      for (const WorkloadSpec& workload : workloads_) {
+        if (warm_seeds.size() >= k) break;
+        const auto records = options_.store->top_k(
+            space_fp, workload_fingerprint(workload), objective_id, rank + 1);
+        if (records.size() <= rank) continue;
+        const StoreRecord* rec = records[rank];
+        if (!seen.insert(rec->key.config_fingerprint).second) continue;
+        try {
+          Configuration cfg =
+              parse_command_line(space.registry(), rec->command_line);
+          if (cfg.fingerprint() != rec->key.config_fingerprint) continue;
+          warm_seeds.push_back(std::move(cfg));
+        } catch (const Error& e) {
+          log_warn() << "suite warm-start: cannot parse stored config: "
+                     << e.what();
+        }
+      }
+    }
+  }
+  const std::int64_t warm_seed_count =
+      static_cast<std::int64_t>(warm_seeds.size());
+  std::optional<WarmStartStrategy> warm;
+  SearchStrategy* active = &strategy;
+  if (!warm_seeds.empty()) {
+    warm.emplace(strategy, std::move(warm_seeds));
+    active = &*warm;
+  }
+
   EvalScheduler scheduler(ctx, SchedulerOptions{options_.inflight});
-  scheduler.run(strategy);
+  scheduler.run(*active);
 
   if (resuming && ctx.replaying()) {
     log_warn() << "journal " << journal->path() << ": "
@@ -223,6 +299,7 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
   validation_options.seed = mix64(options_.seed, fnv1a64("validation"));
   validation_options.repetitions = std::max(5, options_.repetitions);
   validation_options.policy = MeasurementPolicyOptions{};  // no early stops
+  validation_options.store = nullptr;  // fresh seeds: never store-answered
   SuiteRunner validator(*simulator_, workloads_, validation_options);
 
   Configuration best_config = ctx.best_config();
@@ -234,6 +311,10 @@ SuiteOutcome SuiteTuningSession::run_internal(SearchStrategy& strategy,
                        .per_workload_improvement = {},
                        .workload_names = {},
                        .evaluations = static_cast<std::int64_t>(db->size()),
+                       .store_hits = runner.store_hits(),
+                       .store_appends = runner.store_appends(),
+                       .warm_seeds = warm_seed_count,
+                       .charged_evaluations = ctx.charged_evaluations(),
                        .budget_spent = budget.spent(),
                        .db = db,
                        .cancelled = scheduler.cancelled_run()};

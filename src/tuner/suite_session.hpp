@@ -56,6 +56,11 @@ class SuiteRunner : public Evaluator {
     return runners_[index]->workload();
   }
 
+  /// Cross-session store activity summed over the member runners (zero
+  /// when RunnerOptions::store is null).
+  std::int64_t store_hits() const;
+  std::int64_t store_appends() const;
+
  private:
   std::vector<std::unique_ptr<BenchmarkRunner>> runners_;
   std::vector<double> default_ms_;
@@ -73,6 +78,13 @@ struct SuiteOutcome {
   std::vector<double> per_workload_improvement;
   std::vector<std::string> workload_names;
   std::int64_t evaluations = 0;
+  /// Cross-session store activity summed over the member runners, plus the
+  /// warm-start seeds replayed and the nonzero-cost commits (see
+  /// TuningOutcome for the field semantics).
+  std::int64_t store_hits = 0;
+  std::int64_t store_appends = 0;
+  std::int64_t warm_seeds = 0;
+  std::int64_t charged_evaluations = 0;
   SimTime budget_spent;
   std::shared_ptr<ResultDb> db;
   /// True when the session stopped on cooperative cancellation.

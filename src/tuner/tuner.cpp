@@ -133,6 +133,11 @@ double TuningContext::commit(const Configuration& config, MeasuredEval& eval,
         applied.cost, budget_->spent(), label,
         /*include_metrics=*/objective_->id() != "run_time"));
   }
+  // Charged evaluations: the budget-consuming subset of the trajectory.
+  // Store hits cost exactly zero, so a warm-started session's transfer
+  // seeds never count — the ≥25%-fewer-charged-evaluations acceptance
+  // criterion compares real measurement work, not replayed records.
+  if (applied.cost > SimTime::zero()) ++charged_evals_;
   return record(config, applied.measurement, label);
 }
 

@@ -124,6 +124,11 @@ class TuningContext {
   double commit(const Configuration& config, MeasuredEval& eval,
                 bool replayed, const std::string& phase = std::string());
 
+  /// Committed evaluations that charged nonzero budget (replayed ones count
+  /// with their journaled cost). Zero-cost commits — cross-session store
+  /// hits — are excluded: this is the session's real measurement work.
+  std::int64_t charged_evaluations() const { return charged_evals_; }
+
   // ---- tuning objective (owned by the session) ----
 
   /// Installs the objective every evaluation is scored with: record(),
@@ -199,6 +204,8 @@ class TuningContext {
   const CancellationToken* cancel_ = nullptr;
   const std::vector<JournalEval>* replay_ = nullptr;
   std::size_t replay_cursor_ = 0;
+  /// Commits with nonzero cost (control thread only; see commit()).
+  std::int64_t charged_evals_ = 0;
 
   mutable std::mutex mutex_;
   std::string phase_;

@@ -1,0 +1,58 @@
+#include "tuner/warm_start.hpp"
+
+#include <utility>
+
+namespace jat {
+
+WarmStartStrategy::WarmStartStrategy(SearchStrategy& inner,
+                                     std::vector<Configuration> seeds)
+    : inner_(&inner), seeds_(std::move(seeds)) {}
+
+std::string WarmStartStrategy::name() const { return inner_->name(); }
+
+void WarmStartStrategy::begin(StrategyContext& ctx) {
+  SearchStrategy::begin(ctx);
+  asked_ = 0;
+  told_ = 0;
+  inner_begun_ = false;
+  if (seeds_.empty()) {
+    inner_begun_ = true;
+    inner_->begin(ctx);
+  }
+}
+
+void WarmStartStrategy::ask(std::vector<Proposal>& out, std::size_t max) {
+  if (asked_ < seeds_.size()) {
+    for (; asked_ < seeds_.size() && out.size() < max; ++asked_) {
+      Proposal proposal(seeds_[asked_]);
+      proposal.phase = "warm_start";
+      out.push_back(std::move(proposal));
+    }
+    return;
+  }
+  if (told_ < seeds_.size()) return;  // yield until every seed has committed
+  if (!inner_begun_) {
+    // All seed results are in the incumbent now; the wrapped strategy's
+    // begin() — which may read ctx.best_config() — starts warm.
+    inner_begun_ = true;
+    inner_->begin(ctx());
+  }
+  inner_->ask(out, max);
+}
+
+void WarmStartStrategy::tell(const Observation& observation) {
+  if (told_ < seeds_.size()) {
+    ++told_;
+    return;  // seed results live in the committed incumbent, nowhere else
+  }
+  // The inner strategy counts proposals from zero; hide the seed prefix.
+  Observation shifted = observation;
+  shifted.id -= seeds_.size();
+  inner_->tell(shifted);
+}
+
+void WarmStartStrategy::finish() {
+  if (inner_begun_) inner_->finish();
+}
+
+}  // namespace jat

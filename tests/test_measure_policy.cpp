@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "determinism_matrix.hpp"
 #include "harness/runner.hpp"
 #include "support/log.hpp"
 #include "support/statistics.hpp"
@@ -308,36 +309,17 @@ class MeasurePolicySessionTest : public ::testing::Test {
 // including stop reasons — is identical for any eval_threads.
 TEST_F(MeasurePolicySessionTest, AdaptiveTrajectoryIdenticalAcrossEvalThreads) {
   for (const char* name : {"random", "hill"}) {
-    auto make = [&]() -> std::unique_ptr<SearchStrategy> {
-      if (std::string(name) == "random")
-        return std::make_unique<RandomSearch>(0.15);
-      return std::make_unique<HillClimber>();
-    };
-    TuningSession reference_session(sim_, policy_workload(),
-                                    session_options(true, 0));
-    auto reference_strategy = make();
-    const TuningOutcome reference =
-        reference_session.run(*reference_strategy);
-    EXPECT_GE(reference.evaluations, 2) << name;
-
-    TuningSession threaded_session(sim_, policy_workload(),
-                                   session_options(true, 4));
-    auto threaded_strategy = make();
-    const TuningOutcome threaded = threaded_session.run(*threaded_strategy);
-
-    EXPECT_EQ(threaded.best_config.fingerprint(),
-              reference.best_config.fingerprint())
-        << name;
-    EXPECT_DOUBLE_EQ(threaded.best_ms, reference.best_ms) << name;
-    EXPECT_EQ(threaded.runs, reference.runs) << name;
-    ASSERT_EQ(threaded.db->size(), reference.db->size()) << name;
-    for (std::size_t i = 0; i < reference.db->size(); ++i) {
-      const EvalRecord a = reference.db->get(i);
-      const EvalRecord b = threaded.db->get(i);
-      EXPECT_EQ(b.fingerprint, a.fingerprint) << name << " row " << i;
-      EXPECT_EQ(b.objective_ms, a.objective_ms) << name << " row " << i;
-      EXPECT_EQ(b.stop, a.stop) << name << " row " << i;
-    }
+    DeterminismMatrix matrix;
+    matrix.cases = {{.eval_threads = 4}};
+    matrix.compare_stop = true;  // the policy's early stops must replay too
+    run_determinism_matrix(
+        sim_, policy_workload(), session_options(true, 0),
+        [&]() -> std::unique_ptr<SearchStrategy> {
+          if (std::string(name) == "random")
+            return std::make_unique<RandomSearch>(0.15);
+          return std::make_unique<HillClimber>();
+        },
+        matrix, name);
   }
 }
 

@@ -122,6 +122,84 @@ TEST_P(MetamorphicSweep, DisablingTlabNeverSpeedsAllocationHeavyCode) {
   EXPECT_GE(run(without).total_time, run(with_tlab).total_time);
 }
 
+TEST_P(MetamorphicSweep, GrowingHeapMonotonicallyForStopTheWorldCollectors) {
+  // Stronger form of BiggerHeapNeverCollectsMoreOften, restricted to the
+  // two stop-the-world collectors where the relation is exact: with no
+  // concurrent cycles or adaptive pause goals in play, every doubling of
+  // the heap must keep the total collection count non-increasing along
+  // the whole chain, not just between two endpoints.
+  for (const char* collector : {"UseSerialGC", "UseParallelGC"}) {
+    std::int64_t previous = -1;
+    for (std::int64_t heap = kGiB; heap <= 4 * kGiB; heap *= 2) {
+      Configuration config(FlagRegistry::hotspot());
+      config.set_bool("UseSerialGC", false);
+      config.set_bool("UseParallelGC", false);
+      config.set_bool(collector, true);
+      config.set_int("MaxHeapSize", heap);
+      const RunResult r = run(config);
+      const std::int64_t collections = r.young_gc_count + r.full_gc_count;
+      if (previous >= 0) {
+        EXPECT_LE(collections, previous)
+            << collector << " at heap " << heap / kMiB << "m";
+      }
+      previous = collections;
+    }
+  }
+}
+
+TEST_P(MetamorphicSweep, MaxPauseNeverExceedsTotalPause) {
+  // A single stop-the-world pause cannot be longer than the sum of all of
+  // them — for any collector. (Equality is legal: exactly one pause.)
+  for (const char* collector :
+       {"UseSerialGC", "UseParallelGC", "UseConcMarkSweepGC", "UseG1GC"}) {
+    Configuration config(FlagRegistry::hotspot());
+    config.set_bool("UseSerialGC", false);
+    config.set_bool("UseParallelGC", false);
+    config.set_bool(collector, true);
+    const RunResult r = run(config);
+    EXPECT_LE(r.gc_pause_max, r.gc_pause_total) << collector;
+    if (r.young_gc_count + r.full_gc_count == 0) {
+      EXPECT_EQ(r.gc_pause_total, SimTime::zero()) << collector;
+    }
+  }
+}
+
+TEST_P(MetamorphicSweep, ThroughputAndRunTimeRankInverselyOnCrashFreeRuns) {
+  // On a crash-free run the workload completes all its work, so throughput
+  // is exactly total_work / total_time — a faster configuration must never
+  // report lower throughput. Ranking by throughput and ranking by run time
+  // are the same ordering reversed; a tuner may maximize either.
+  std::vector<RunResult> results;
+  results.push_back(run(Configuration(FlagRegistry::hotspot())));
+  {
+    Configuration big(FlagRegistry::hotspot());
+    big.set_int("MaxHeapSize", 4 * kGiB);
+    results.push_back(run(big));
+  }
+  {
+    Configuration slow(FlagRegistry::hotspot());
+    slow.set_enum("ExecutionMode", "int");
+    results.push_back(run(slow));
+  }
+  for (const RunResult& r : results) {
+    EXPECT_GT(r.throughput(), 0.0);
+    EXPECT_DOUBLE_EQ(r.work_done, workload_.total_work);
+  }
+  for (std::size_t a = 0; a < results.size(); ++a) {
+    for (std::size_t b = a + 1; b < results.size(); ++b) {
+      const bool faster = results[a].total_time < results[b].total_time;
+      const bool slower = results[b].total_time < results[a].total_time;
+      if (faster) {
+        EXPECT_GT(results[a].throughput(), results[b].throughput());
+      } else if (slower) {
+        EXPECT_LT(results[a].throughput(), results[b].throughput());
+      } else {
+        EXPECT_DOUBLE_EQ(results[a].throughput(), results[b].throughput());
+      }
+    }
+  }
+}
+
 TEST_P(MetamorphicSweep, CodeCacheStarvationNeverHelps) {
   Configuration normal(FlagRegistry::hotspot());
   Configuration starved(FlagRegistry::hotspot());

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "determinism_matrix.hpp"
 #include "harness/journal.hpp"
 #include "harness/runner.hpp"
 #include "jvmsim/run_result.hpp"
@@ -392,20 +393,13 @@ TEST(SessionObjectives, TrajectoryIsThreadCountInvariantUnderAnyObjective) {
   JvmSimulator simulator;
   const WorkloadSpec& workload = find_workload("startup.serial");
   for (const char* spec : {"run_time", "pause_max"}) {
-    SessionOptions serial = golden_session_options();
-    serial.objective = make_objective(spec);
-    SessionOptions threaded = serial;
-    threaded.eval_threads = 4;
-    HierarchicalTuner tuner_a;
-    HierarchicalTuner tuner_b;
-    const TuningOutcome a =
-        TuningSession(simulator, workload, serial).run(tuner_a);
-    const TuningOutcome b =
-        TuningSession(simulator, workload, threaded).run(tuner_b);
-    EXPECT_EQ(a.best_config.fingerprint(), b.best_config.fingerprint())
-        << spec;
-    EXPECT_EQ(a.best_ms, b.best_ms) << spec;
-    EXPECT_EQ(a.evaluations, b.evaluations) << spec;
+    SessionOptions base = golden_session_options();
+    base.objective = make_objective(spec);
+    DeterminismMatrix matrix;
+    matrix.cases = {{.eval_threads = 4}};
+    run_determinism_matrix(
+        simulator, workload, base,
+        [] { return std::make_unique<HierarchicalTuner>(); }, matrix, spec);
   }
   set_log_level(LogLevel::kWarn);
 }

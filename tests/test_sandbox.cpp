@@ -12,6 +12,7 @@
 #include <variant>
 #include <vector>
 
+#include "determinism_matrix.hpp"
 #include "harness/budget.hpp"
 #include "harness/resilient.hpp"
 #include "harness/runner.hpp"
@@ -228,53 +229,19 @@ TEST_F(SandboxTest, RepeatedCrashesQuarantineTheFingerprint) {
 }
 
 TEST_F(SandboxTest, SessionOutcomeIsBitIdenticalWithoutFaults) {
-  auto run_session = [&](bool sandboxed, std::size_t threads) {
-    SessionOptions options;
-    options.budget = SimTime::minutes(12);
-    options.seed = 41;
-    options.eval_threads = threads;
-    options.sandbox = sandboxed;
-    options.sandbox_options.workers = 3;
-    TuningSession session(sim_, workload_, options);
-    HierarchicalTuner tuner;
-    return session.run(tuner);
-  };
-  const TuningOutcome expected = run_session(false, 0);
-  const TuningOutcome serial = run_session(true, 0);
-  // Serial: the full evaluation log matches row for row, budget positions
-  // included (under eval_threads the budget column is charge-interleave
-  // wall-clock, nondeterministic even in-process; the trajectory is not).
-  ASSERT_EQ(serial.db->size(), expected.db->size());
-  for (std::size_t i = 0; i < expected.db->size(); ++i) {
-    const EvalRecord a = expected.db->get(i);
-    const EvalRecord b = serial.db->get(i);
-    EXPECT_EQ(b.fingerprint, a.fingerprint) << "row " << i;
-    EXPECT_EQ(b.objective_ms, a.objective_ms) << "row " << i;
-    EXPECT_EQ(b.budget_spent, a.budget_spent) << "row " << i;
-    EXPECT_EQ(b.phase, a.phase) << "row " << i;
-    EXPECT_EQ(b.attempts, a.attempts) << "row " << i;
-  }
-  for (const TuningOutcome* outcome : {&serial}) {
-    EXPECT_EQ(outcome->best_ms, expected.best_ms);
-    EXPECT_EQ(outcome->default_ms, expected.default_ms);
-    EXPECT_EQ(outcome->best_config.fingerprint(),
-              expected.best_config.fingerprint());
-    EXPECT_EQ(outcome->evaluations, expected.evaluations);
-    EXPECT_EQ(outcome->runs, expected.runs);
-    EXPECT_EQ(outcome->cache_hits, expected.cache_hits);
-    EXPECT_EQ(outcome->budget_spent, expected.budget_spent);
-  }
-
-  // Pipelined sandbox: same trajectory and counters.
-  const TuningOutcome piped = run_session(true, 2);
-  ASSERT_EQ(piped.db->size(), expected.db->size());
-  for (std::size_t i = 0; i < expected.db->size(); ++i) {
-    EXPECT_EQ(piped.db->get(i).fingerprint, expected.db->get(i).fingerprint);
-    EXPECT_EQ(piped.db->get(i).objective_ms, expected.db->get(i).objective_ms);
-  }
-  EXPECT_EQ(piped.best_ms, expected.best_ms);
-  EXPECT_EQ(piped.runs, expected.runs);
-  EXPECT_EQ(piped.cache_hits, expected.cache_hits);
+  // Serial sandbox matches the in-process reference including budget
+  // positions; pipelined sandbox matches the trajectory and counters (the
+  // matrix skips budget comparison for pipelined cells — documented
+  // charge-interleave nondeterminism).
+  SessionOptions base;
+  base.budget = SimTime::minutes(12);
+  base.seed = 41;
+  DeterminismMatrix matrix;
+  matrix.cases = {{.eval_threads = 0, .sandbox = true, .sandbox_workers = 3},
+                  {.eval_threads = 2, .sandbox = true, .sandbox_workers = 3}};
+  run_determinism_matrix(
+      sim_, workload_, base, [] { return std::make_unique<HierarchicalTuner>(); },
+      matrix);
 }
 
 // The adaptive measurement policy crosses the process boundary whole:

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "determinism_matrix.hpp"
 #include "support/log.hpp"
 #include "tuner/algorithms.hpp"
 #include "tuner/legacy_adapter.hpp"
@@ -71,37 +72,17 @@ class SchedulerDeterminism : public ::testing::TestWithParam<const char*> {
 };
 
 // The tentpole guarantee: for every native strategy the full outcome —
-// incumbent fingerprint, objectives, evaluation count — is identical
-// whether evaluations run serially or on 2 or 8 worker threads.
+// incumbent fingerprint, objectives, counters, evaluation log — is
+// identical whether evaluations run serially or on 2 or 8 worker threads
+// (the shared contract lives in determinism_matrix.hpp).
 TEST_P(SchedulerDeterminism, OutcomeIdenticalAcrossEvalThreads) {
   const std::string name = GetParam();
-  TuningSession reference_session(sim_, scheduler_workload(),
-                                  smoke_options(0));
-  auto reference_strategy = make_strategy(name);
-  ASSERT_NE(reference_strategy, nullptr);
-  const TuningOutcome reference = reference_session.run(*reference_strategy);
-  EXPECT_GE(reference.evaluations, 2);
-
-  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
-    TuningSession session(sim_, scheduler_workload(), smoke_options(threads));
-    auto strategy = make_strategy(name);
-    const TuningOutcome outcome = session.run(*strategy);
-    EXPECT_EQ(reference.best_config.fingerprint(),
-              outcome.best_config.fingerprint())
-        << name << " with eval_threads=" << threads;
-    EXPECT_DOUBLE_EQ(reference.default_ms, outcome.default_ms)
-        << name << " with eval_threads=" << threads;
-    EXPECT_DOUBLE_EQ(reference.best_ms, outcome.best_ms)
-        << name << " with eval_threads=" << threads;
-    EXPECT_EQ(reference.evaluations, outcome.evaluations)
-        << name << " with eval_threads=" << threads;
-    // The evaluation *log* matches row for row, not just the winner.
-    ASSERT_EQ(reference.db->size(), outcome.db->size()) << name;
-    for (std::size_t i = 0; i < reference.db->size(); ++i) {
-      EXPECT_EQ(reference.db->get(i).fingerprint, outcome.db->get(i).fingerprint)
-          << name << " row " << i << " with eval_threads=" << threads;
-    }
-  }
+  DeterminismMatrix matrix;
+  matrix.cases = {{.eval_threads = 2}, {.eval_threads = 4},
+                  {.eval_threads = 8}};
+  run_determinism_matrix(
+      sim_, scheduler_workload(), smoke_options(0),
+      [&] { return make_strategy(name); }, matrix, name);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStrategies, SchedulerDeterminism,

@@ -89,6 +89,18 @@ void usage() {
       "                      budget, seed come from the journal; the outcome\n"
       "                      is bit-identical to the uninterrupted run)\n"
       "  --log FILE          write the full evaluation log as CSV\n"
+      "  --store DIR         cross-session result store: completed\n"
+      "                      measurements are published to DIR/store.jsonl\n"
+      "                      and later sessions answer repeat configurations\n"
+      "                      from it at zero budget (safe to share between\n"
+      "                      concurrent sessions; see EXPERIMENTS.md)\n"
+      "  --warm-start K      replay up to K top prior configurations for this\n"
+      "                      workload (plus structural neighbors from other\n"
+      "                      workloads) before the tuner's first proposal\n"
+      "                      (needs --store)\n"
+      "  --no-store-reads    publish to the store but never read prior\n"
+      "                      results back (cold-session trajectory with a\n"
+      "                      warm store on disk)\n"
       "  --kill-after-evals N  raise SIGKILL after the Nth journal append\n"
       "                      (deterministic crash injection for recovery tests)\n"
       "  --replay FILE       re-measure a saved .flags file on --workload\n"
@@ -179,6 +191,15 @@ int tune_one(const std::string& workload_name, const SessionOptions& options,
               "search", static_cast<long long>(outcome.evaluations),
               static_cast<long long>(outcome.runs),
               outcome.budget_spent.to_string().c_str());
+  if (options.store != nullptr) {
+    std::printf("%-22s %lld store hit(s), %lld appended, %lld warm seed(s), "
+                "%lld charged evaluation(s)\n",
+                "store",
+                static_cast<long long>(outcome.store_hits),
+                static_cast<long long>(outcome.store_appends),
+                static_cast<long long>(outcome.warm_seeds),
+                static_cast<long long>(outcome.charged_evaluations));
+  }
   std::printf("%-22s %s\n", "tuned flags",
               outcome.best_config.changed_flags().empty()
                   ? "(defaults were best)"
@@ -259,6 +280,14 @@ int tune_suite(const std::string& suite_name, const SessionOptions& options,
   }
   std::printf("%s", table.render().c_str());
   std::printf("flags: %s\n", outcome.best_config.render_command_line().c_str());
+  if (options.store != nullptr) {
+    std::printf("store: %lld hit(s), %lld appended, %lld warm seed(s), "
+                "%lld charged evaluation(s)\n",
+                static_cast<long long>(outcome.store_hits),
+                static_cast<long long>(outcome.store_appends),
+                static_cast<long long>(outcome.warm_seeds),
+                static_cast<long long>(outcome.charged_evaluations));
+  }
   if (!out_path.empty() && !save_configuration(outcome.best_config, out_path)) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
@@ -301,6 +330,7 @@ int main(int argc, char** argv) {
   std::string log_path;
   JournalOptions journal_options;
   SessionOptions options;
+  std::string store_path;
   TraceSink trace_sink;
   bool explain = false;
   bool threads_set = false;
@@ -350,6 +380,12 @@ int main(int argc, char** argv) {
       resume_path = next();
     } else if (arg == "--log") {
       log_path = next();
+    } else if (arg == "--store") {
+      store_path = next();
+    } else if (arg == "--warm-start") {
+      options.warm_start = std::atoi(next());
+    } else if (arg == "--no-store-reads") {
+      options.store_reads = false;
     } else if (arg == "--kill-after-evals") {
       journal_options.crash_after_appends = std::atoi(next());
     } else if (arg == "--racing") {
@@ -447,6 +483,11 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
+  if (store_path.empty() && (options.warm_start > 0 || !options.store_reads)) {
+    std::fprintf(stderr,
+                 "error: --warm-start / --no-store-reads need --store\n");
+    return 1;
+  }
   if (!resume_path.empty() && !journal_path.empty()) {
     std::fprintf(stderr,
                  "error: --resume appends to the resumed journal; do not also "
@@ -469,6 +510,15 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &sa, nullptr);
 
   try {
+    if (!store_path.empty()) {
+      options.store = ResultStore::open(store_path);
+      const StoreStats stats = options.store->stats();
+      std::printf("store %s: %lld record(s), %lld workload(s)%s\n",
+                  options.store->path().c_str(),
+                  static_cast<long long>(stats.records),
+                  static_cast<long long>(stats.workloads),
+                  options.store_reads ? "" : " (reads disabled)");
+    }
     std::optional<SessionJournal> journal;
     SessionJournal* resume_journal = nullptr;
     if (!resume_path.empty()) {
